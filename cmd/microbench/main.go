@@ -1,0 +1,77 @@
+// Command microbench regenerates the micro-benchmark figures of the
+// paper's evaluation:
+//
+//	microbench -fig 10     batch response time: light vs heavy queries
+//	microbench -fig 11     load interaction between light and heavy queries
+//
+// See EXPERIMENTS.md for recorded outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"shareddb/internal/experiments"
+	"shareddb/internal/tpcw"
+)
+
+func main() {
+	fig := flag.Int("fig", 10, "figure to regenerate (10 or 11)")
+	items := flag.Int("items", 1000, "TPC-W item count")
+	customers := flag.Int("customers", 1440, "TPC-W customer count")
+	sizes := flag.String("sizes", "1,10,50,100,250,500,1000,2000", "batch sizes for figure 10")
+	lightRate := flag.Float64("light", 200, "light queries per second for figure 11")
+	heavyRates := flag.String("heavy", "0,5,10,25,50,100,200", "heavy query rates for figure 11")
+	window := flag.Duration("window", 2*time.Second, "measurement window per data point")
+	seed := flag.Int64("seed", 2012, "data generator seed")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:         tpcw.Scale{Items: *items, Customers: *customers},
+		PointDuration: *window,
+		Seed:          *seed,
+	}
+
+	switch *fig {
+	case 10:
+		for _, q := range []experiments.Fig10Query{experiments.LightQuery, experiments.HeavyQuery} {
+			res, err := experiments.Fig10(q, parseInts(*sizes), opts)
+			exitOn(err)
+			fmt.Println(experiments.RenderFig10(q, res))
+		}
+	case 11:
+		var rates []float64
+		for _, part := range strings.Split(*heavyRates, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			exitOn(err)
+			rates = append(rates, f)
+		}
+		res, err := experiments.Fig11(*lightRate, rates, opts)
+		exitOn(err)
+		fmt.Println(experiments.RenderFig11(*lightRate, res))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (want 10 or 11)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		exitOn(err)
+		out = append(out, n)
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+}

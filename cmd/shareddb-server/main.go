@@ -1,0 +1,107 @@
+// Command shareddb-server exposes a SharedDB instance over TCP with a
+// simple line protocol (one SQL statement per line, results as
+// tab-separated rows terminated by "OK <n rows>" or "ERR <message>").
+//
+//	shareddb-server -listen :5843 [-wal dir]
+//
+// Every connected client's statements join the same always-on global plan,
+// so concurrent clients share work exactly as the paper describes. The
+// port default matches the paper's Figure 5 example ("Output Network, TCP
+// Port 5843").
+//
+// Try it:
+//
+//	echo "CREATE TABLE t (a INT, PRIMARY KEY (a))" | nc localhost 5843
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"shareddb"
+)
+
+func main() {
+	listen := flag.String("listen", ":5843", "listen address")
+	wal := flag.String("wal", "", "WAL directory (empty = no durability)")
+	flag.Parse()
+
+	db, err := shareddb.Open(shareddb.Config{WALDir: *wal})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shareddb-server listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serve(db, conn)
+	}
+}
+
+func serve(db *shareddb.DB, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch strings.ToUpper(line) {
+		case "QUIT", "EXIT":
+			fmt.Fprintln(w, "BYE")
+			w.Flush()
+			return
+		case "EXPLAIN PLAN":
+			fmt.Fprint(w, db.DescribePlan())
+			fmt.Fprintln(w, "OK")
+			w.Flush()
+			continue
+		}
+		execute(db, w, line)
+		w.Flush()
+	}
+}
+
+func execute(db *shareddb.DB, w *bufio.Writer, sqlText string) {
+	upper := strings.ToUpper(sqlText)
+	if strings.HasPrefix(upper, "SELECT") {
+		rows, err := db.Query(sqlText)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
+		for rows.Next() {
+			row := rows.Row()
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, "\t"))
+		}
+		fmt.Fprintf(w, "OK %d rows\n", rows.Len())
+		return
+	}
+	res, err := db.Exec(sqlText)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d rows\n", res.RowsAffected)
+}

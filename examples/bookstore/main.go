@@ -1,0 +1,124 @@
+// Bookstore: the paper's motivating workload — hundreds of concurrent
+// clients hammering an online bookstore with a mix of point lookups and
+// heavy analytical queries. One global plan serves them all; the engine
+// stats at the end show how many queries each heartbeat generation batched.
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"shareddb"
+)
+
+func main() {
+	db, err := shareddb.Open(shareddb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	setup(db)
+
+	// The workload's statement templates — prepared once, like the ~30
+	// JDBC PreparedStatements of TPC-W (paper §2).
+	byID, _ := db.Prepare(`SELECT i_title, i_price FROM item WHERE i_id = ?`)
+	bySubject, _ := db.Prepare(`SELECT i_id, i_title FROM item WHERE i_subject = ?
+		ORDER BY i_title LIMIT 10`)
+	bestSellers, _ := db.Prepare(`SELECT i_id, i_title, SUM(ol_qty) AS sold
+		FROM order_line, item WHERE ol_i_id = i_id AND ol_o_id > ?
+		GROUP BY i_id, i_title ORDER BY sold DESC, i_id LIMIT 5`)
+	buy, _ := db.Prepare(`INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty)
+		VALUES (?, ?, ?, ?)`)
+
+	subjects := []string{"ARTS", "SCIENCE", "HISTORY", "COOKING"}
+	var wg sync.WaitGroup
+	var olID, oID int64 = 100000, 100000
+	var mu sync.Mutex
+	nextIDs := func() (int64, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		olID++
+		oID++
+		return olID, oID
+	}
+
+	start := time.Now()
+	const clients = 64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 30; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					if _, err := byID.Query(int64(rng.Intn(500) + 1)); err != nil {
+						log.Println(err)
+					}
+				case 1:
+					if _, err := bySubject.Query(subjects[rng.Intn(4)]); err != nil {
+						log.Println(err)
+					}
+				case 2:
+					if _, err := bestSellers.Query(int64(rng.Intn(100))); err != nil {
+						log.Println(err)
+					}
+				default:
+					ol, o := nextIDs()
+					if _, err := buy.Exec(ol, o, int64(rng.Intn(500)+1), int64(1+rng.Intn(3))); err != nil {
+						log.Println(err)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	gens, queries, writes := db.Engine().Stats()
+	fmt.Printf("%d clients × 30 requests in %v\n", clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("engine ran %d generations for %d queries + %d writes\n", gens, queries, writes)
+	fmt.Printf("→ average batch size %.1f (shared execution: one big join/sort per generation)\n",
+		float64(queries+writes)/float64(gens))
+
+	rows, _ := db.Query(`SELECT i_id, i_title, SUM(ol_qty) AS sold FROM order_line, item
+		WHERE ol_i_id = i_id GROUP BY i_id, i_title ORDER BY sold DESC, i_id LIMIT 3`)
+	fmt.Println("\ntop sellers after the run:")
+	for rows.Next() {
+		var id, sold int64
+		var title string
+		rows.Scan(&id, &title, &sold)
+		fmt.Printf("  #%d %-30s sold %d\n", id, title, sold)
+	}
+}
+
+func setup(db *shareddb.DB) {
+	mustExec(db, `CREATE TABLE item (i_id INT, i_title VARCHAR(60),
+		i_subject VARCHAR(20), i_price FLOAT, PRIMARY KEY (i_id))`)
+	mustExec(db, `CREATE INDEX item_subject ON item (i_subject)`)
+	mustExec(db, `CREATE TABLE order_line (ol_id INT, ol_o_id INT, ol_i_id INT,
+		ol_qty INT, PRIMARY KEY (ol_id))`)
+	mustExec(db, `CREATE INDEX ol_item ON order_line (ol_i_id)`)
+
+	subjects := []string{"ARTS", "SCIENCE", "HISTORY", "COOKING"}
+	for i := 1; i <= 500; i++ {
+		mustExec(db, `INSERT INTO item VALUES (?, ?, ?, ?)`,
+			int64(i), fmt.Sprintf("Book %04d", i), subjects[i%4], float64(i%90)+9.99)
+	}
+	for ol := 1; ol <= 2000; ol++ {
+		mustExec(db, `INSERT INTO order_line VALUES (?, ?, ?, ?)`,
+			int64(ol), int64(ol/4+1), int64(ol*7%500+1), int64(ol%3+1))
+	}
+}
+
+func mustExec(db *shareddb.DB, sql string, args ...interface{}) {
+	if _, err := db.Exec(sql, args...); err != nil {
+		log.Fatalf("%s: %v", sql[:40], err)
+	}
+}

@@ -1,0 +1,97 @@
+// Quickstart: open a SharedDB database, create a schema, run queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shareddb"
+)
+
+func main() {
+	db, err := shareddb.Open(shareddb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must := func(_ shareddb.Result, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(db.Exec(`CREATE TABLE users (
+		id INT, name VARCHAR(40), country VARCHAR(2), account FLOAT,
+		PRIMARY KEY (id))`))
+	must(db.Exec(`CREATE INDEX users_country ON users (country)`))
+
+	for i, u := range []struct {
+		name, country string
+		account       float64
+	}{
+		{"ada", "CH", 1200.50}, {"bob", "DE", 340.00}, {"eve", "CH", 78.25},
+		{"dan", "US", 2048.00}, {"kim", "DE", 913.40},
+	} {
+		must(db.Exec(`INSERT INTO users VALUES (?, ?, ?, ?)`, i+1, u.name, u.country, u.account))
+	}
+
+	// Prepared statements are the unit of sharing: every concurrent
+	// activation of this statement runs on the same shared operators.
+	stmt, err := db.Prepare(`SELECT name, account FROM users
+		WHERE country = ? ORDER BY account DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, country := range []string{"CH", "DE"} {
+		rows, err := stmt.Query(country)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s users:\n", country)
+		for rows.Next() {
+			var name string
+			var account float64
+			if err := rows.Scan(&name, &account); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6s %8.2f\n", name, account)
+		}
+	}
+
+	// Ad-hoc queries join the always-on plan, sharing whatever matches.
+	rows, err := db.Query(`SELECT country, COUNT(*), SUM(account) FROM users GROUP BY country`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naccounts by country:")
+	for rows.Next() {
+		var country string
+		var n int64
+		var total float64
+		rows.Scan(&country, &n, &total)
+		fmt.Printf("  %-3s %d users, total %9.2f\n", country, n, total)
+	}
+
+	// Transactions are snapshot-isolated and commit in the next batch.
+	tx := db.Begin()
+	if err := tx.Exec(`UPDATE users SET account = account - ? WHERE id = ?`, 100.0, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Exec(`UPDATE users SET account = account + ? WHERE id = ?`, 100.0, 3); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntransferred 100.00 from ada to eve")
+
+	rows, _ = db.Query(`SELECT name, account FROM users WHERE id IN (1, 3) ORDER BY id`)
+	for rows.Next() {
+		var name string
+		var account float64
+		rows.Scan(&name, &account)
+		fmt.Printf("  %-6s %8.2f\n", name, account)
+	}
+}

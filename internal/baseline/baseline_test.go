@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+func testDB(t testing.TB) *storage.Database {
+	t.Helper()
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, _ := db.CreateTable("item", types.NewSchema(
+		types.Column{Qualifier: "item", Name: "i_id", Kind: types.KindInt},
+		types.Column{Qualifier: "item", Name: "i_subject", Kind: types.KindString},
+		types.Column{Qualifier: "item", Name: "i_a_id", Kind: types.KindInt},
+		types.Column{Qualifier: "item", Name: "i_price", Kind: types.KindFloat},
+	))
+	item.SetPrimaryKey("i_id")
+	item.AddIndex("ix_subject", false, "i_subject")
+	author, _ := db.CreateTable("author", types.NewSchema(
+		types.Column{Qualifier: "author", Name: "a_id", Kind: types.KindInt},
+		types.Column{Qualifier: "author", Name: "a_name", Kind: types.KindString},
+	))
+	author.SetPrimaryKey("a_id")
+
+	var ops []storage.WriteOp
+	for i := int64(0); i < 10; i++ {
+		ops = append(ops, storage.WriteOp{Table: "author", Kind: storage.WInsert,
+			Row: types.Row{types.NewInt(i), types.NewString(fmt.Sprintf("A%d", i))}})
+	}
+	subjects := []string{"X", "Y", "Z"}
+	for i := int64(0); i < 60; i++ {
+		ops = append(ops, storage.WriteOp{Table: "item", Kind: storage.WInsert,
+			Row: types.Row{types.NewInt(i), types.NewString(subjects[i%3]),
+				types.NewInt(i % 10), types.NewFloat(float64(i) * 1.5)}})
+	}
+	results, _ := db.ApplyOps(ops)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	return db
+}
+
+func exec(t *testing.T, e *Engine, sqlText string, params ...types.Value) Result {
+	t.Helper()
+	s, err := e.Prepare(sqlText)
+	if err != nil {
+		t.Fatalf("Prepare(%q): %v", sqlText, err)
+	}
+	res, err := s.Exec(params)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sqlText, err)
+	}
+	return res
+}
+
+func TestBothProfilesBasicQueries(t *testing.T) {
+	db := testDB(t)
+	for _, profile := range []Profile{SystemXLike, MySQLLike} {
+		t.Run(profile.String(), func(t *testing.T) {
+			e := New(db, profile)
+			if got := exec(t, e, "SELECT i_id FROM item WHERE i_id = ?", types.NewInt(7)); len(got.Rows) != 1 {
+				t.Errorf("point query rows = %d", len(got.Rows))
+			}
+			if got := exec(t, e, "SELECT i_id FROM item WHERE i_subject = ?", types.NewString("X")); len(got.Rows) != 20 {
+				t.Errorf("index scan rows = %d", len(got.Rows))
+			}
+			if got := exec(t, e, "SELECT i_id FROM item WHERE i_price > ?", types.NewFloat(80)); len(got.Rows) != 6 {
+				t.Errorf("range rows = %d", len(got.Rows))
+			}
+			// join: item has index on i_a_id? no → SystemX hash join,
+			// MySQL nested loop; both must agree
+			got := exec(t, e, `SELECT i_id, a_name FROM item, author
+				WHERE i_a_id = a_id AND i_subject = ?`, types.NewString("Y"))
+			if len(got.Rows) != 20 {
+				t.Errorf("join rows = %d", len(got.Rows))
+			}
+			// group + order + limit
+			got = exec(t, e, `SELECT i_subject, COUNT(*) AS c, MAX(i_price) FROM item
+				GROUP BY i_subject ORDER BY c DESC LIMIT 2`)
+			if len(got.Rows) != 2 || got.Rows[0][1].AsInt() != 20 {
+				t.Errorf("group rows = %v", got.Rows)
+			}
+		})
+	}
+}
+
+func TestBaselineWrites(t *testing.T) {
+	db := testDB(t)
+	e := New(db, SystemXLike)
+	res := exec(t, e, "INSERT INTO author (a_id, a_name) VALUES (?, ?)",
+		types.NewInt(99), types.NewString("New"))
+	if res.RowsAffected != 1 {
+		t.Error("insert failed")
+	}
+	res = exec(t, e, "UPDATE author SET a_name = ? WHERE a_id = ?",
+		types.NewString("Upd"), types.NewInt(99))
+	if res.RowsAffected != 1 {
+		t.Error("update failed")
+	}
+	got := exec(t, e, "SELECT a_name FROM author WHERE a_id = ?", types.NewInt(99))
+	if len(got.Rows) != 1 || got.Rows[0][0].AsString() != "Upd" {
+		t.Errorf("read back = %v", got.Rows)
+	}
+	res = exec(t, e, "DELETE FROM author WHERE a_id = ?", types.NewInt(99))
+	if res.RowsAffected != 1 {
+		t.Error("delete failed")
+	}
+}
+
+func TestScalarAggregateEmptyInput(t *testing.T) {
+	db := testDB(t)
+	e := New(db, SystemXLike)
+	got := exec(t, e, "SELECT COUNT(*) FROM item WHERE i_id = ?", types.NewInt(-1))
+	if len(got.Rows) != 1 || got.Rows[0][0].AsInt() != 0 {
+		t.Errorf("empty COUNT = %v", got.Rows)
+	}
+}
+
+func TestMySQLWorkerCap(t *testing.T) {
+	db := testDB(t)
+	e := New(db, MySQLLike)
+	if cap(e.sem) != mysqlWorkerCap {
+		t.Errorf("worker cap = %d", cap(e.sem))
+	}
+	// saturate: all Execs still complete
+	done := make(chan bool, 50)
+	s, _ := e.Prepare("SELECT i_id FROM item WHERE i_subject = ?")
+	for i := 0; i < 50; i++ {
+		go func() {
+			_, err := s.Exec([]types.Value{types.NewString("X")})
+			done <- err == nil
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if !<-done {
+			t.Fatal("exec under saturation failed")
+		}
+	}
+}
+
+func TestDistinctAndBetween(t *testing.T) {
+	db := testDB(t)
+	e := New(db, SystemXLike)
+	got := exec(t, e, "SELECT DISTINCT i_subject FROM item")
+	if len(got.Rows) != 3 {
+		t.Errorf("distinct = %v", got.Rows)
+	}
+	got = exec(t, e, "SELECT i_id FROM item WHERE i_id BETWEEN ? AND ?",
+		types.NewInt(10), types.NewInt(14))
+	if len(got.Rows) != 5 {
+		t.Errorf("between = %d rows", len(got.Rows))
+	}
+}

@@ -1,0 +1,280 @@
+// Package btree implements the in-memory B+tree used by the Crescando
+// storage manager for index probes and index nested-loop joins (paper §4.4:
+// "we extended Crescando and implemented B-Tree indexes and index probe
+// operators as an additional access path").
+//
+// The tree maps composite keys (one types.Value per indexed column) to row
+// identifiers. Duplicate keys are allowed (non-unique indexes); the
+// (key, rowID) pair is the unit of storage. Leaves are chained for fast
+// range scans.
+//
+// Deletion removes entries from leaves without rebalancing: the tree never
+// shrinks in height. This is a deliberate simplification — the workloads the
+// engine targets are insert-heavy (TPC-W) and the MVCC storage layer retires
+// whole index generations on checkpoint, at which point the index is rebuilt
+// compactly. Correctness is unaffected and verified by property tests
+// against a reference implementation.
+package btree
+
+import (
+	"shareddb/internal/types"
+)
+
+// degree is the maximum number of entries per node (order of the tree).
+const degree = 64
+
+// Key is a composite index key: one value per indexed column.
+type Key []types.Value
+
+// CompareKeys orders two keys lexicographically over their common prefix.
+// If the prefixes are equal the keys compare equal, regardless of length —
+// this is what makes a short key usable as a prefix bound in Scan (e.g.
+// scanning a two-column index for all entries with a given first column).
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if d := a[i].Compare(b[i]); d != 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// compareFull orders (key, rid) pairs totally: lexicographic key order with
+// the row id as a tie-break. Full keys inside the tree always have the same
+// length, so prefix semantics never apply here.
+func compareFull(ak Key, ar uint64, bk Key, br uint64) int {
+	if d := CompareKeys(ak, bk); d != 0 {
+		return d
+	}
+	switch {
+	case ar < br:
+		return -1
+	case ar > br:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type entry struct {
+	key Key
+	rid uint64
+}
+
+type node struct {
+	// Internal nodes: len(children) == len(keys)+1; keys[i] is the smallest
+	// full entry of the subtree children[i+1].
+	// Leaves: children == nil; entries sorted by (key, rid); next links the
+	// leaf chain.
+	keys     []entry
+	children []*node
+	next     *node
+	leaf     bool
+}
+
+// Tree is a B+tree index. It is not safe for concurrent mutation; the
+// storage manager serializes writers per batch cycle and readers run against
+// quiesced trees between cycles.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of (key, rowID) entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds the (key, rid) pair. Inserting an exact duplicate pair is a
+// no-op returning false.
+func (t *Tree) Insert(key Key, rid uint64) bool {
+	k := make(Key, len(key))
+	copy(k, key)
+	inserted, split, sepEntry, right := t.insert(t.root, entry{key: k, rid: rid})
+	if split {
+		newRoot := &node{
+			keys:     []entry{sepEntry},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert returns (inserted, didSplit, separator, rightSibling).
+func (t *Tree) insert(n *node, e entry) (bool, bool, entry, *node) {
+	if n.leaf {
+		i := n.lowerBound(e.key, e.rid)
+		if i < len(n.keys) && compareFull(n.keys[i].key, n.keys[i].rid, e.key, e.rid) == 0 {
+			return false, false, entry{}, nil
+		}
+		n.keys = append(n.keys, entry{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = e
+		if len(n.keys) > degree {
+			sep, right := n.splitLeaf()
+			return true, true, sep, right
+		}
+		return true, false, entry{}, nil
+	}
+	ci := n.childIndex(e.key, e.rid)
+	inserted, split, sep, right := t.insert(n.children[ci], e)
+	if split {
+		n.keys = append(n.keys, entry{})
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+		if len(n.keys) > degree {
+			sep2, right2 := n.splitInternal()
+			return inserted, true, sep2, right2
+		}
+	}
+	return inserted, false, entry{}, nil
+}
+
+// lowerBound returns the first position in a leaf whose (key,rid) >= the
+// given pair.
+func (n *node) lowerBound(key Key, rid uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareFull(n.keys[mid].key, n.keys[mid].rid, key, rid) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex picks the subtree for the given (key, rid) in an internal node.
+func (n *node) childIndex(key Key, rid uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareFull(key, rid, n.keys[mid].key, n.keys[mid].rid) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (n *node) splitLeaf() (entry, *node) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: true, next: n.next}
+	right.keys = append(right.keys, n.keys[mid:]...)
+	n.keys = n.keys[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (n *node) splitInternal() (entry, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes the (key, rid) pair, reporting whether it was present.
+func (t *Tree) Delete(key Key, rid uint64) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key, rid)]
+	}
+	i := n.lowerBound(key, rid)
+	if i >= len(n.keys) || compareFull(n.keys[i].key, n.keys[i].rid, key, rid) != 0 {
+		return false
+	}
+	copy(n.keys[i:], n.keys[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	t.size--
+	return true
+}
+
+// SeekEQ invokes fn for every row id whose key equals key (prefix semantics:
+// a short key matches all entries sharing that prefix). Iteration stops early
+// if fn returns false.
+func (t *Tree) SeekEQ(key Key, fn func(rid uint64) bool) {
+	t.Scan(key, key, true, true, func(_ Key, rid uint64) bool { return fn(rid) })
+}
+
+// Lookup returns all row ids matching key (prefix semantics).
+func (t *Tree) Lookup(key Key) []uint64 {
+	var out []uint64
+	t.SeekEQ(key, func(rid uint64) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out
+}
+
+// Scan iterates entries in key order over [lo, hi] with per-bound
+// inclusiveness; nil bounds are unbounded. Prefix semantics apply to both
+// bounds. Iteration stops early if fn returns false.
+func (t *Tree) Scan(lo, hi Key, loIncl, hiIncl bool, fn func(key Key, rid uint64) bool) {
+	n := t.root
+	if lo == nil {
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		for !n.leaf {
+			// Descend to the leftmost leaf that can contain entries with
+			// key >= lo: treat lo as having rid 0 (smallest).
+			n = n.children[n.childIndex(lo, 0)]
+		}
+	}
+	for n != nil {
+		for _, e := range n.keys {
+			if lo != nil {
+				d := CompareKeys(e.key, lo)
+				if d < 0 || (d == 0 && !loIncl) {
+					continue
+				}
+			}
+			if hi != nil {
+				d := CompareKeys(e.key, hi)
+				if d > 0 || (d == 0 && !hiIncl) {
+					return
+				}
+			}
+			if !fn(e.key, e.rid) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Ascend iterates all entries in key order.
+func (t *Tree) Ascend(fn func(key Key, rid uint64) bool) {
+	t.Scan(nil, nil, true, true, fn)
+}
+
+// Height returns the tree height (1 for a lone leaf); used in tests.
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}

@@ -1,0 +1,279 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"shareddb/internal/types"
+)
+
+func ik(vals ...int64) Key {
+	k := make(Key, len(vals))
+	for i, v := range vals {
+		k[i] = types.NewInt(v)
+	}
+	return k
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	if !tr.Insert(ik(5), 100) {
+		t.Fatal("insert failed")
+	}
+	if tr.Insert(ik(5), 100) {
+		t.Fatal("duplicate (key,rid) should be rejected")
+	}
+	if !tr.Insert(ik(5), 101) {
+		t.Fatal("same key different rid should insert")
+	}
+	rids := tr.Lookup(ik(5))
+	if len(rids) != 2 || rids[0] != 100 || rids[1] != 101 {
+		t.Errorf("Lookup = %v", rids)
+	}
+	if got := tr.Lookup(ik(6)); len(got) != 0 {
+		t.Errorf("Lookup(6) = %v", got)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Insert(ik(1), 1)
+	tr.Insert(ik(2), 2)
+	if !tr.Delete(ik(1), 1) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(ik(1), 1) {
+		t.Fatal("double delete should fail")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Lookup(ik(1)); len(got) != 0 {
+		t.Errorf("deleted key still found: %v", got)
+	}
+}
+
+func TestSplitGrowsHeight(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10*degree; i++ {
+		tr.Insert(ik(int64(i)), uint64(i))
+	}
+	if tr.Height() < 2 {
+		t.Errorf("expected height >= 2, got %d", tr.Height())
+	}
+	// all present, in order
+	var got []int64
+	tr.Ascend(func(k Key, rid uint64) bool {
+		got = append(got, k[0].AsInt())
+		return true
+	})
+	if len(got) != 10*degree {
+		t.Fatalf("Ascend yielded %d entries", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("Ascend not sorted")
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(ik(int64(i)), uint64(i))
+	}
+	collect := func(lo, hi Key, loIncl, hiIncl bool) []int64 {
+		var out []int64
+		tr.Scan(lo, hi, loIncl, hiIncl, func(k Key, _ uint64) bool {
+			out = append(out, k[0].AsInt())
+			return true
+		})
+		return out
+	}
+	if got := collect(ik(10), ik(13), true, true); len(got) != 4 || got[0] != 10 || got[3] != 13 {
+		t.Errorf("[10,13] = %v", got)
+	}
+	if got := collect(ik(10), ik(13), false, false); len(got) != 2 || got[0] != 11 || got[1] != 12 {
+		t.Errorf("(10,13) = %v", got)
+	}
+	if got := collect(nil, ik(2), true, true); len(got) != 3 {
+		t.Errorf("(-inf,2] = %v", got)
+	}
+	if got := collect(ik(97), nil, true, true); len(got) != 3 {
+		t.Errorf("[97,inf) = %v", got)
+	}
+	// early stop
+	n := 0
+	tr.Scan(nil, nil, true, true, func(Key, uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestCompositeKeyPrefixScan(t *testing.T) {
+	tr := New()
+	// (a, b) composite index
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 10; b++ {
+			tr.Insert(ik(a, b), uint64(a*100+b))
+		}
+	}
+	// prefix lookup: all entries with a=4
+	rids := tr.Lookup(ik(4))
+	if len(rids) != 10 {
+		t.Fatalf("prefix lookup found %d, want 10", len(rids))
+	}
+	for i, rid := range rids {
+		if rid != uint64(400+i) {
+			t.Errorf("rids[%d] = %d", i, rid)
+		}
+	}
+	// exact composite lookup
+	if got := tr.Lookup(ik(4, 7)); len(got) != 1 || got[0] != 407 {
+		t.Errorf("exact lookup = %v", got)
+	}
+	// prefix range: a in [3,5)
+	var count int
+	tr.Scan(ik(3), ik(5), true, false, func(Key, uint64) bool { count++; return true })
+	if count != 20 {
+		t.Errorf("prefix range count = %d, want 20", count)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"banana", "apple", "cherry", "date", "apricot"}
+	for i, w := range words {
+		tr.Insert(Key{types.NewString(w)}, uint64(i))
+	}
+	var got []string
+	tr.Ascend(func(k Key, _ uint64) bool {
+		got = append(got, k[0].AsString())
+		return true
+	})
+	want := []string{"apple", "apricot", "banana", "cherry", "date"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	// LIKE-style prefix range [ap, aq)
+	var pre []string
+	tr.Scan(Key{types.NewString("ap")}, Key{types.NewString("aq")}, true, false,
+		func(k Key, _ uint64) bool {
+			pre = append(pre, k[0].AsString())
+			return true
+		})
+	if len(pre) != 2 {
+		t.Errorf("prefix scan = %v", pre)
+	}
+}
+
+// reference model for property testing
+type refEntry struct {
+	key int64
+	rid uint64
+}
+
+// Property: after a random interleaving of inserts and deletes the tree
+// agrees exactly with a reference slice, in content and order.
+func TestRandomizedAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		tr := New()
+		ref := map[refEntry]bool{}
+		ops := 2000
+		for i := 0; i < ops; i++ {
+			k := int64(r.Intn(200))
+			rid := uint64(r.Intn(5))
+			e := refEntry{k, rid}
+			if r.Intn(3) == 0 {
+				wantOK := ref[e]
+				if got := tr.Delete(ik(k), rid); got != wantOK {
+					t.Fatalf("Delete(%d,%d) = %v, want %v", k, rid, got, wantOK)
+				}
+				delete(ref, e)
+			} else {
+				wantOK := !ref[e]
+				if got := tr.Insert(ik(k), rid); got != wantOK {
+					t.Fatalf("Insert(%d,%d) = %v, want %v", k, rid, got, wantOK)
+				}
+				ref[e] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+		}
+		var want []refEntry
+		for e := range ref {
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				return want[i].key < want[j].key
+			}
+			return want[i].rid < want[j].rid
+		})
+		var got []refEntry
+		tr.Ascend(func(k Key, rid uint64) bool {
+			got = append(got, refEntry{k[0].AsInt(), rid})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: entry %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		// spot-check random range scans against the reference
+		for j := 0; j < 10; j++ {
+			lo := int64(r.Intn(200))
+			hi := lo + int64(r.Intn(50))
+			wantN := 0
+			for e := range ref {
+				if e.key >= lo && e.key <= hi {
+					wantN++
+				}
+			}
+			gotN := 0
+			tr.Scan(ik(lo), ik(hi), true, true, func(Key, uint64) bool { gotN++; return true })
+			if gotN != wantN {
+				t.Fatalf("range [%d,%d]: got %d, want %d", lo, hi, gotN, wantN)
+			}
+		}
+	}
+}
+
+func TestCompareKeys(t *testing.T) {
+	if CompareKeys(ik(1, 2), ik(1, 3)) >= 0 {
+		t.Error("lexicographic order wrong")
+	}
+	if CompareKeys(ik(1), ik(1, 5)) != 0 {
+		t.Error("prefix should compare equal")
+	}
+	if CompareKeys(ik(2), ik(1, 5)) <= 0 {
+		t.Error("prefix order wrong")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(ik(int64(i)), uint64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(ik(int64(i)), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(ik(int64(i % 100000)))
+	}
+}

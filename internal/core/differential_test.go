@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"shareddb/internal/baseline"
+	"shareddb/internal/plan"
+	"shareddb/internal/types"
+)
+
+// Differential testing: the central correctness claim of SharedDB is that
+// the shared, batched global plan returns exactly the rows a traditional
+// query-at-a-time engine returns for every individual query (paper §3.3:
+// the query_id amendment to the join predicate guarantees "an R tuple that
+// is only relevant for Query Q1 does not match an S tuple that is only
+// relevant for Query Q2"). This test runs randomized workloads through both
+// engines — concurrently and in big batches on the shared engine — and
+// compares per-query result multisets.
+
+// canon renders rows as a sorted multiset fingerprint.
+func canon(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if v.Kind() == types.KindFloat {
+				parts[j] = fmt.Sprintf("%.6f", v.AsFloat())
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b []types.Row) bool {
+	ca, cb := canon(a), canon(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialSharedVsQueryAtATime(t *testing.T) {
+	db, closeDB := bookstore(t)
+	defer closeDB()
+	shared := newEngine(t, db)
+	defer shared.Close()
+	qat := baseline.New(db, baseline.SystemXLike)
+
+	type template struct {
+		sql     string
+		mkParam func(r *rand.Rand) []types.Value
+	}
+	subjects := []string{"ARTS", "SCIENCE", "HISTORY", "COOKING", "NONE"}
+	templates := []template{
+		{"SELECT i_title, i_price FROM item WHERE i_id = ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(120)))} }},
+		{"SELECT i_id, i_title FROM item WHERE i_subject = ?",
+			func(r *rand.Rand) []types.Value {
+				return []types.Value{types.NewString(subjects[r.Intn(len(subjects))])}
+			}},
+		{"SELECT i_id FROM item WHERE i_price > ? AND i_price < ?",
+			func(r *rand.Rand) []types.Value {
+				lo := r.Float64() * 80
+				return []types.Value{types.NewFloat(lo), types.NewFloat(lo + 30)}
+			}},
+		{"SELECT i_id, i_title FROM item WHERE i_title LIKE ?",
+			func(r *rand.Rand) []types.Value {
+				return []types.Value{types.NewString(fmt.Sprintf("%%%d%%", r.Intn(10)))}
+			}},
+		{"SELECT i_title, a_lname FROM item, author WHERE i_a_id = a_id AND i_subject = ?",
+			func(r *rand.Rand) []types.Value {
+				return []types.Value{types.NewString(subjects[r.Intn(len(subjects))])}
+			}},
+		{"SELECT i_id, i_title, a_lname FROM item, author WHERE i_a_id = a_id AND i_id = ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(120)))} }},
+		// the i_id tie-break makes the Top-10 deterministic: with ties on
+		// val alone, both engines would return different-but-valid cuts
+		{`SELECT i_id, SUM(ol_qty) AS val FROM order_line, item
+		  WHERE ol_i_id = i_id AND ol_o_id > ? GROUP BY i_id ORDER BY val DESC, i_id LIMIT 10`,
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(50)))} }},
+		{"SELECT i_subject, COUNT(*), AVG(i_price) FROM item WHERE i_price > ? GROUP BY i_subject",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewFloat(r.Float64() * 100)} }},
+		{"SELECT i_id, i_price FROM item WHERE i_subject = ? ORDER BY i_price DESC LIMIT 5",
+			func(r *rand.Rand) []types.Value {
+				return []types.Value{types.NewString(subjects[r.Intn(len(subjects))])}
+			}},
+		{"SELECT DISTINCT i_subject FROM item WHERE i_price < ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewFloat(r.Float64() * 120)} }},
+		{"SELECT COUNT(*) FROM orders WHERE o_c_id = ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(12)))} }},
+		{"SELECT o_id, o_total FROM orders WHERE o_id = ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(60)))} }},
+	}
+
+	sharedStmts := make([]*plan.Statement, len(templates))
+	qatStmts := make([]*baseline.Stmt, len(templates))
+	for i, tpl := range templates {
+		sharedStmts[i] = mustPrepare(t, shared, tpl.sql)
+		var err error
+		qatStmts[i], err = qat.Prepare(tpl.sql)
+		if err != nil {
+			t.Fatalf("baseline prepare %q: %v", tpl.sql, err)
+		}
+	}
+
+	r := rand.New(rand.NewSource(2026))
+	for round := 0; round < 15; round++ {
+		// a burst of concurrent queries → they batch into few generations
+		n := 1 + r.Intn(40)
+		idxs := make([]int, n)
+		params := make([][]types.Value, n)
+		results := make([]*Result, n)
+		for i := 0; i < n; i++ {
+			idxs[i] = r.Intn(len(templates))
+			params[i] = templates[idxs[i]].mkParam(r)
+			results[i] = shared.Submit(sharedStmts[idxs[i]], params[i])
+		}
+		for i := 0; i < n; i++ {
+			if err := results[i].Wait(); err != nil {
+				t.Fatalf("round %d query %d (%s): %v", round, i, templates[idxs[i]].sql, err)
+			}
+			want, err := qatStmts[idxs[i]].Exec(params[i])
+			if err != nil {
+				t.Fatalf("baseline exec: %v", err)
+			}
+			if !sameRows(results[i].Rows, want.Rows) {
+				t.Fatalf("round %d: result mismatch for %q params %v:\nshared (%d rows): %v\nbaseline (%d rows): %v",
+					round, templates[idxs[i]].sql, params[i],
+					len(results[i].Rows), canon(results[i].Rows),
+					len(want.Rows), canon(want.Rows))
+			}
+		}
+	}
+}
+
+// TestDifferentialOrderedQueries additionally checks row ORDER for queries
+// with ORDER BY (multiset equality is not enough there).
+func TestDifferentialOrderedQueries(t *testing.T) {
+	db, closeDB := bookstore(t)
+	defer closeDB()
+	shared := newEngine(t, db)
+	defer shared.Close()
+	qat := baseline.New(db, baseline.SystemXLike)
+
+	sqlText := "SELECT i_id, i_price FROM item WHERE i_subject = ? ORDER BY i_price DESC, i_id LIMIT 8"
+	ss := mustPrepare(t, shared, sqlText)
+	bs, err := qat.Prepare(sqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, subj := range []string{"ARTS", "SCIENCE", "HISTORY", "COOKING"} {
+		got := run(t, shared, ss, types.NewString(subj))
+		want, err := bs.Exec([]types.Value{types.NewString(subj)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d vs %d rows", subj, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			// compare the sort key column: ties may order differently
+			if got.Rows[i][1].AsFloat() != want.Rows[i][1].AsFloat() {
+				t.Fatalf("%s row %d: shared %v, baseline %v", subj, i, got.Rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialProfilesAgree checks the two baseline profiles against
+// each other (different join algorithms, same results).
+func TestDifferentialProfilesAgree(t *testing.T) {
+	db, closeDB := bookstore(t)
+	defer closeDB()
+	sx := baseline.New(db, baseline.SystemXLike)
+	my := baseline.New(db, baseline.MySQLLike)
+
+	queries := []struct {
+		sql    string
+		params []types.Value
+	}{
+		{"SELECT i_title, a_lname FROM item, author WHERE i_a_id = a_id AND i_subject = ?",
+			[]types.Value{types.NewString("ARTS")}},
+		{`SELECT i_id, SUM(ol_qty) AS v FROM order_line, item
+		  WHERE ol_i_id = i_id GROUP BY i_id ORDER BY v DESC LIMIT 5`, nil},
+	}
+	for _, q := range queries {
+		s1, err := sx.Prepare(q.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := my.Prepare(q.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := s1.Exec(q.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s2.Exec(q.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRows(r1.Rows, r2.Rows) {
+			t.Errorf("profiles disagree on %q", q.sql)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package core implements the SharedDB engine: the batch-oriented execution
+// loop that the paper describes as a blood circulation (§3.2): "With every
+// heartbeat, tuples are pushed through the global query plan in order to
+// process the next generation of queries and updates. While one batch of
+// queries and updates is processed, newly arriving queries and updates are
+// queued. When the current batch ... has been processed, then the queues
+// are emptied in order to form the next batch."
+//
+// Each generation: (1) the batch's updates are applied in arrival order and
+// a new snapshot is published (Crescando semantics), (2) the batch's reads
+// run together through the always-on global plan at that snapshot, (3)
+// results are routed back to the waiting clients.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/operators"
+	"shareddb/internal/plan"
+	"shareddb/internal/queryset"
+	"shareddb/internal/sql"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Heartbeat is the minimum spacing between generation starts. Zero
+	// means the next generation forms as soon as the previous one finishes
+	// (the paper's default: "for OLTP workloads, these heartbeats can be
+	// frequent, in the order of one second or even less").
+	Heartbeat time.Duration
+	// MaxBatch caps the number of requests drained into one generation
+	// (0 = unlimited).
+	MaxBatch int
+}
+
+// Engine drives generations over a storage database and a global plan.
+type Engine struct {
+	db   *storage.Database
+	plan *plan.GlobalPlan
+	cfg  Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*Request
+	stopped bool
+	gen     uint64
+	idle    bool
+
+	// genMu serializes generation execution against plan mutation:
+	// Prepare extends the operator DAG, which must not happen while a
+	// generation is traversing it.
+	genMu sync.Mutex
+
+	loopDone chan struct{}
+
+	// stats
+	generations uint64
+	queriesRun  uint64
+	writesRun   uint64
+}
+
+// Request is one enqueued statement execution (or transaction commit).
+type Request struct {
+	Stmt   *plan.Statement
+	Params []types.Value
+	Tx     *storage.Tx // non-nil for transaction commits
+
+	Result *Result
+}
+
+// Result is the client-visible outcome of a request. Wait blocks until the
+// generation that served the request completes.
+type Result struct {
+	done chan struct{}
+
+	Rows         []types.Row
+	Schema       *types.Schema
+	RowsAffected int
+	Err          error
+
+	distinctSeen map[string]bool
+}
+
+// Wait blocks until the result is ready and returns its error.
+func (r *Result) Wait() error {
+	<-r.done
+	return r.Err
+}
+
+// Done exposes the completion channel.
+func (r *Result) Done() <-chan struct{} { return r.done }
+
+// New creates an engine over db and global plan gp and starts its heartbeat
+// loop and the plan's operator goroutines.
+func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
+	e := &Engine{db: db, plan: gp, cfg: cfg, loopDone: make(chan struct{})}
+	e.cond = sync.NewCond(&e.mu)
+	gp.Start()
+	go e.loop()
+	return e
+}
+
+// Close stops the heartbeat loop and the operator goroutines. Pending
+// requests are failed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	pending := e.pending
+	e.pending = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, r := range pending {
+		r.Result.Err = errors.New("core: engine closed")
+		close(r.Result.done)
+	}
+	<-e.loopDone
+	e.plan.Stop()
+}
+
+// Stats reports engine counters: generations run, queries served, writes
+// applied.
+func (e *Engine) Stats() (generations, queries, writes uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.generations, e.queriesRun, e.writesRun
+}
+
+// Database returns the underlying storage.
+func (e *Engine) Database() *storage.Database { return e.db }
+
+// Plan returns the global plan.
+func (e *Engine) Plan() *plan.GlobalPlan { return e.plan }
+
+// Submit enqueues a request for the next generation.
+func (e *Engine) Submit(stmt *plan.Statement, params []types.Value) *Result {
+	req := &Request{Stmt: stmt, Params: params, Result: &Result{done: make(chan struct{})}}
+	e.enqueue(req)
+	return req.Result
+}
+
+// SubmitTx enqueues a transaction commit for the next generation.
+func (e *Engine) SubmitTx(tx *storage.Tx) *Result {
+	req := &Request{Tx: tx, Result: &Result{done: make(chan struct{})}}
+	e.enqueue(req)
+	return req.Result
+}
+
+func (e *Engine) enqueue(req *Request) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		req.Result.Err = errors.New("core: engine closed")
+		close(req.Result.done)
+		return
+	}
+	e.pending = append(e.pending, req)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// loop is the heartbeat: drain the queue, run one generation, repeat.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	lastStart := time.Time{}
+	for {
+		e.mu.Lock()
+		for len(e.pending) == 0 && !e.stopped {
+			e.idle = true
+			e.cond.Wait()
+		}
+		e.idle = false
+		if e.stopped {
+			pending := e.pending
+			e.pending = nil
+			e.mu.Unlock()
+			for _, r := range pending {
+				r.Result.Err = errors.New("core: engine closed")
+				close(r.Result.done)
+			}
+			return
+		}
+		// Heartbeat pacing: give late arrivals a chance to join the batch.
+		if e.cfg.Heartbeat > 0 {
+			if wait := e.cfg.Heartbeat - time.Since(lastStart); wait > 0 {
+				e.mu.Unlock()
+				time.Sleep(wait)
+				e.mu.Lock()
+			}
+		}
+		batch := e.pending
+		if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
+			e.pending = batch[e.cfg.MaxBatch:]
+			batch = batch[:e.cfg.MaxBatch]
+		} else {
+			e.pending = nil
+		}
+		e.gen++
+		gen := e.gen
+		e.generations++
+		e.mu.Unlock()
+
+		lastStart = time.Now()
+		e.genMu.Lock()
+		e.runGeneration(gen, batch)
+		e.genMu.Unlock()
+	}
+}
+
+// Prepare registers a statement in the global plan. Registration happens
+// between generations (the plan is mutated), which is also how ad-hoc
+// queries join the always-on plan at runtime (§3.2).
+func (e *Engine) Prepare(sqlText string) (*plan.Statement, error) {
+	e.genMu.Lock()
+	defer e.genMu.Unlock()
+	return e.plan.Prepare(sqlText)
+}
+
+// runGeneration executes one batch of queries and updates.
+func (e *Engine) runGeneration(gen uint64, batch []*Request) {
+	// Phase 1: writes, in arrival order. Standalone write statements apply
+	// with Crescando semantics (later ops see earlier ones); transaction
+	// commits follow with snapshot-isolation validation.
+	var writeReqs []*Request
+	var writeOps []storage.WriteOp
+	var txReqs []*Request
+	var txs []*storage.Tx
+	var readReqs []*Request
+
+	for _, r := range batch {
+		switch {
+		case r.Tx != nil:
+			txReqs = append(txReqs, r)
+			txs = append(txs, r.Tx)
+		case r.Stmt != nil && r.Stmt.IsWrite():
+			op, err := bindWrite(r.Stmt.Write, r.Params)
+			if err != nil {
+				r.Result.Err = err
+				close(r.Result.done)
+				continue
+			}
+			writeReqs = append(writeReqs, r)
+			writeOps = append(writeOps, op)
+		default:
+			readReqs = append(readReqs, r)
+		}
+	}
+
+	if len(writeOps) > 0 {
+		results, _ := e.db.ApplyOps(writeOps)
+		for i, res := range results {
+			writeReqs[i].Result.RowsAffected = res.RowsAffected
+			writeReqs[i].Result.Err = res.Err
+			close(writeReqs[i].Result.done)
+		}
+		e.mu.Lock()
+		e.writesRun += uint64(len(writeOps))
+		e.mu.Unlock()
+	}
+	if len(txs) > 0 {
+		_, errs := e.db.CommitTxBatch(txs)
+		for i, err := range errs {
+			txReqs[i].Result.Err = err
+			close(txReqs[i].Result.done)
+		}
+		e.mu.Lock()
+		e.writesRun += uint64(len(txs))
+		e.mu.Unlock()
+	}
+
+	// Phase 2: reads at the post-write snapshot.
+	if len(readReqs) == 0 {
+		return
+	}
+	ts := e.db.SnapshotTS()
+	acts := make([]plan.Activation, len(readReqs))
+	byQID := make(map[queryset.QueryID]*Request, len(readReqs))
+	for i, r := range readReqs {
+		qid := queryset.QueryID(i + 1) // generation-scoped ids keep sets small
+		acts[i] = plan.Activation{QID: qid, Stmt: r.Stmt, Params: r.Params}
+		byQID[qid] = r
+		r.Result.Schema = r.Stmt.OutSchema
+	}
+
+	done := make(chan struct{})
+	e.plan.RunGeneration(gen, ts, acts,
+		func(stream int, t operators.Tuple) {
+			// Sink callback: runs on the sink goroutine only, so per-request
+			// state needs no locking. Routing applies each query's own
+			// projection, DISTINCT and LIMIT (the per-query tail of the
+			// shared plan).
+			for _, qid := range t.QS.IDs() {
+				r := byQID[qid]
+				if r == nil {
+					continue
+				}
+				res := r.Result
+				if r.Stmt.SinkLimit >= 0 && len(res.Rows) >= r.Stmt.SinkLimit {
+					continue
+				}
+				row := make(types.Row, len(r.Stmt.Project))
+				for i, pe := range r.Stmt.Project {
+					row[i] = pe.Eval(t.Row, r.Params)
+				}
+				if r.Stmt.Distinct {
+					if res.distinctSeen == nil {
+						res.distinctSeen = map[string]bool{}
+					}
+					k := types.EncodeKey(row...)
+					if res.distinctSeen[k] {
+						continue
+					}
+					res.distinctSeen[k] = true
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		},
+		func() { close(done) },
+	)
+	<-done
+	for _, r := range readReqs {
+		r.Result.distinctSeen = nil
+		close(r.Result.done)
+	}
+	e.mu.Lock()
+	e.queriesRun += uint64(len(readReqs))
+	e.mu.Unlock()
+}
+
+// bindWrite turns a bound write plan plus parameters into a storage op:
+// parameters are substituted so the storage layer can resolve targets by
+// value (index selection, predicate indexing).
+func bindWrite(wp *sql.WritePlan, params []types.Value) (storage.WriteOp, error) {
+	switch wp.Kind {
+	case sql.WriteInsert:
+		row := make(types.Row, len(wp.Values))
+		for i, v := range wp.Values {
+			row[i] = v.Eval(nil, params)
+		}
+		return storage.WriteOp{Table: wp.Table, Kind: storage.WInsert, Row: row}, nil
+	case sql.WriteUpdate:
+		set := make([]storage.ColSet, len(wp.Set))
+		for i, sc := range wp.Set {
+			set[i] = storage.ColSet{Col: sc.Col, Val: expr.Bind(sc.Val, params)}
+		}
+		return storage.WriteOp{Table: wp.Table, Kind: storage.WUpdate,
+			Pred: expr.Bind(wp.Pred, params), Set: set}, nil
+	case sql.WriteDelete:
+		return storage.WriteOp{Table: wp.Table, Kind: storage.WDelete,
+			Pred: expr.Bind(wp.Pred, params)}, nil
+	default:
+		return storage.WriteOp{}, fmt.Errorf("core: unknown write kind %d", wp.Kind)
+	}
+}
+
+// BindWriteForTx exposes write binding for the transaction API.
+func BindWriteForTx(wp *sql.WritePlan, params []types.Value) (storage.WriteOp, error) {
+	return bindWrite(wp, params)
+}

@@ -1,0 +1,425 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§5): the TPC-W throughput sweeps (Figures 7–9) and the micro-benchmarks
+// (Figures 10–11). The same code backs the cmd/tpcw and cmd/microbench
+// binaries and the root-level testing.B benchmarks.
+//
+// Absolute numbers differ from the paper (their testbed was a 48-core
+// Magny-Cours; think times and response limits are compressed by a common
+// factor, DESIGN.md §3) — the reproduced quantity is the *shape*: which
+// system wins, by what ratio, and where the curves bend.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shareddb/internal/baseline"
+	"shareddb/internal/core"
+	"shareddb/internal/harness"
+	"shareddb/internal/storage"
+	"shareddb/internal/tpcw"
+	"shareddb/internal/types"
+)
+
+// SystemKind selects a system under test.
+type SystemKind int
+
+// Systems compared throughout §5.
+const (
+	SharedDB SystemKind = iota
+	SystemX
+	MySQL
+)
+
+// String names the system as the paper's figures do.
+func (k SystemKind) String() string {
+	return [...]string{"SharedDB", "SystemX", "MySQL"}[k]
+}
+
+// AllSystems lists the three systems in figure order.
+var AllSystems = []SystemKind{MySQL, SystemX, SharedDB}
+
+// Env is one freshly loaded TPC-W database plus a system under test.
+type Env struct {
+	DB    *storage.Database
+	Gen   *tpcw.Generator
+	IDs   *tpcw.IDAllocator
+	Sys   tpcw.System
+	Scale tpcw.Scale
+}
+
+// NewEnv loads a fresh database and attaches the requested system. Each
+// system gets its own copy so that one run's updates cannot skew another's.
+func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64) (*Env, error) {
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		return nil, err
+	}
+	gen, err := tpcw.Setup(db, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{DB: db, Gen: gen, IDs: tpcw.NewIDAllocator(gen), Scale: scale}
+	switch kind {
+	case SharedDB:
+		sys, err := tpcw.NewSharedSystem(db, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		env.Sys = sys
+	case SystemX:
+		sys, err := tpcw.NewBaselineSystem(db, baseline.SystemXLike)
+		if err != nil {
+			return nil, err
+		}
+		env.Sys = sys
+	case MySQL:
+		sys, err := tpcw.NewBaselineSystem(db, baseline.MySQLLike)
+		if err != nil {
+			return nil, err
+		}
+		env.Sys = sys
+	}
+	return env, nil
+}
+
+// Close releases the environment.
+func (e *Env) Close() {
+	e.Sys.Close()
+	e.DB.Close()
+}
+
+// Options tunes experiment size so the binaries can run paper-shaped sweeps
+// while the benchmarks run quick smoke versions.
+type Options struct {
+	Scale         tpcw.Scale
+	PointDuration time.Duration // measurement window per data point
+	ThinkTime     time.Duration // mean EB think time (scaled-down 7 s)
+	Seed          int64
+}
+
+// DefaultOptions is the laptop-scale configuration.
+func DefaultOptions() Options {
+	return Options{
+		Scale:         tpcw.DefaultScale(),
+		PointDuration: 2 * time.Second,
+		ThinkTime:     20 * time.Millisecond,
+		Seed:          2012,
+	}
+}
+
+// Fig7Point is one (EBs → throughput) measurement.
+type Fig7Point struct {
+	EBs     int
+	Offered float64
+	WIPS    float64
+	P95     time.Duration
+}
+
+// Fig7 runs the paper's first experiment: throughput under varying load for
+// one mix, for every system ("we varied the load of the system by
+// increasing the number of emulated browsers and measured the web
+// interactions that were successfully answered ... in the response time
+// limit", §5.3).
+func Fig7(mix tpcw.Mix, ebCounts []int, opts Options) (map[SystemKind][]Fig7Point, error) {
+	out := map[SystemKind][]Fig7Point{}
+	for _, kind := range AllSystems {
+		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, ebs := range ebCounts {
+			m := tpcw.RunDriver(env.Sys, env.Scale, env.IDs, tpcw.DriverConfig{
+				EBs: ebs, Duration: opts.PointDuration, ThinkTime: opts.ThinkTime,
+				Mix: mix, Only: -1, Seed: opts.Seed,
+			})
+			out[kind] = append(out[kind], Fig7Point{
+				EBs:     ebs,
+				Offered: tpcw.OfferedLoad(ebs, opts.ThinkTime),
+				WIPS:    m.WIPS(),
+				P95:     m.Latency.Quantile(0.95),
+			})
+		}
+		env.Close()
+	}
+	return out, nil
+}
+
+// Fig8Point is one (cores → max throughput) measurement.
+type Fig8Point struct {
+	Cores int
+	WIPS  float64
+}
+
+// Fig8 measures maximum throughput while varying the core budget
+// (GOMAXPROCS stands in for the paper's maxcpus kernel parameter, §5.4).
+// saturate is the closed-loop client count used to saturate the system.
+type GomaxprocsSetter func(n int) int
+
+// Fig8 runs the cores sweep for one mix.
+func Fig8(mix tpcw.Mix, cores []int, saturate int, opts Options, setProcs GomaxprocsSetter) (map[SystemKind][]Fig8Point, error) {
+	out := map[SystemKind][]Fig8Point{}
+	for _, kind := range AllSystems {
+		for _, n := range cores {
+			prev := setProcs(n)
+			env, err := NewEnv(kind, opts.Scale, opts.Seed)
+			if err != nil {
+				setProcs(prev)
+				return nil, err
+			}
+			m := tpcw.RunDriver(env.Sys, env.Scale, env.IDs, tpcw.DriverConfig{
+				EBs: saturate, Duration: opts.PointDuration, ThinkTime: 0,
+				Mix: mix, Only: -1, Seed: opts.Seed,
+			})
+			env.Close()
+			setProcs(prev)
+			out[kind] = append(out[kind], Fig8Point{Cores: n, WIPS: m.WIPS()})
+		}
+	}
+	return out, nil
+}
+
+// Fig9Point is one (interaction → max throughput) measurement.
+type Fig9Point struct {
+	Interaction tpcw.Interaction
+	WIPS        float64
+}
+
+// Fig9 measures the maximum throughput of each individual web interaction
+// ("the maximum throughput that each of the three systems can achieve if
+// the clients are configured to issue only queries that correspond to a
+// single web interaction", §5.5).
+func Fig9(clients int, opts Options) (map[SystemKind][]Fig9Point, error) {
+	out := map[SystemKind][]Fig9Point{}
+	for _, kind := range AllSystems {
+		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := tpcw.Interaction(0); i < tpcw.NumInteractions; i++ {
+			m := tpcw.RunDriver(env.Sys, env.Scale, env.IDs, tpcw.DriverConfig{
+				EBs: clients, Duration: opts.PointDuration, ThinkTime: 0,
+				Mix: tpcw.Shopping, Only: i, Seed: opts.Seed,
+			})
+			out[kind] = append(out[kind], Fig9Point{Interaction: i, WIPS: m.WIPS()})
+		}
+		env.Close()
+	}
+	return out, nil
+}
+
+// Fig10Point is one (batch size → batch response time) measurement.
+type Fig10Point struct {
+	BatchSize int
+	Elapsed   time.Duration
+}
+
+// Fig10Query selects the light or heavy query of §5.6.
+type Fig10Query int
+
+// The two §5.6 queries.
+const (
+	LightQuery Fig10Query = iota // "search item by title": 2-way join point query
+	HeavyQuery                   // "best sellers": 3 joins + group-by + sort
+)
+
+func (q Fig10Query) String() string {
+	if q == LightQuery {
+		return "SearchItemByTitle"
+	}
+	return "BestSellers"
+}
+
+// Fig10 issues batches of an increasing number of identical-template
+// queries (different parameters) and measures whole-batch completion time,
+// including SharedDB's queueing delay (§5.6).
+func Fig10(query Fig10Query, sizes []int, opts Options) (map[SystemKind][]Fig10Point, error) {
+	out := map[SystemKind][]Fig10Point{}
+	for _, kind := range AllSystems {
+		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		maxOID := int64(env.Gen.MaxOrderID)
+		window := int64(1000)
+		for _, n := range sizes {
+			params := make([][]types.Value, n)
+			for i := 0; i < n; i++ {
+				if query == LightQuery {
+					params[i] = []types.Value{types.NewString(fmt.Sprintf("Title %02d%%", i%100))}
+				} else {
+					params[i] = []types.Value{
+						types.NewInt(maxOID - window),
+						types.NewString(tpcw.Subjects()[i%len(tpcw.Subjects())]),
+					}
+				}
+			}
+			stmt := tpcw.StDoTitleSearch
+			if query == HeavyQuery {
+				stmt = tpcw.StGetBestSellers
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			errCount := int64(0)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if _, err := env.Sys.Query(stmt, params[i]...); err != nil {
+						atomic.AddInt64(&errCount, 1)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if errCount > 0 {
+				env.Close()
+				return nil, fmt.Errorf("fig10: %d queries failed", errCount)
+			}
+			out[kind] = append(out[kind], Fig10Point{BatchSize: n, Elapsed: time.Since(start)})
+		}
+		env.Close()
+	}
+	return out, nil
+}
+
+// Fig11Point is one (heavy-query rate → total throughput) measurement.
+type Fig11Point struct {
+	HeavyRate  float64 // offered best-sellers per second
+	Throughput float64 // completed queries (light + heavy) per second
+	LightDone  float64 // completed light queries per second
+}
+
+// Fig11 reproduces the load-interaction experiment (§5.7): a constant
+// stream of light "search item by title" queries plus an increasing
+// open-loop stream of heavy "best sellers" queries. The paper's headline:
+// the baselines' light-query throughput collapses below the constant rate,
+// SharedDB's total increases monotonically.
+func Fig11(lightRate float64, heavyRates []float64, opts Options) (map[SystemKind][]Fig11Point, error) {
+	out := map[SystemKind][]Fig11Point{}
+	for _, kind := range AllSystems {
+		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		maxOID := env.Gen.MaxOrderID
+		for _, hr := range heavyRates {
+			light, heavy := openLoopRun(env, lightRate, hr, maxOID, opts.PointDuration)
+			out[kind] = append(out[kind], Fig11Point{
+				HeavyRate:  hr,
+				Throughput: light + heavy,
+				LightDone:  light,
+			})
+		}
+		env.Close()
+	}
+	return out, nil
+}
+
+// openLoopRun fires light and heavy queries at fixed rates for the window
+// and returns completed-per-second counts. In-flight work is capped to keep
+// an overloaded system from accumulating unbounded goroutines (the paper's
+// clients likewise had finite connection pools).
+func openLoopRun(env *Env, lightRate, heavyRate float64, maxOID int64, window time.Duration) (lightPerSec, heavyPerSec float64) {
+	var lightDone, heavyDone int64
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, 2048)
+
+	deadline := time.Now().Add(window)
+	fire := func(rate float64, fn func(i int)) {
+		defer wg.Done()
+		if rate <= 0 {
+			return
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		i := 0
+		for next := time.Now(); next.Before(deadline); next = next.Add(interval) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case inflight <- struct{}{}:
+				wg.Add(1)
+				i++
+				go func(i int) {
+					defer wg.Done()
+					fn(i)
+					<-inflight
+				}(i)
+			default: // system saturated: request dropped (client timeout)
+			}
+		}
+	}
+	wg.Add(2)
+	go fire(lightRate, func(i int) {
+		if _, err := env.Sys.Query(tpcw.StDoTitleSearch,
+			types.NewString(fmt.Sprintf("Title %02d%%", i%100))); err == nil {
+			atomic.AddInt64(&lightDone, 1)
+		}
+	})
+	go fire(heavyRate, func(i int) {
+		if _, err := env.Sys.Query(tpcw.StGetBestSellers,
+			types.NewInt(maxOID-1000),
+			types.NewString(tpcw.Subjects()[i%len(tpcw.Subjects())])); err == nil {
+			atomic.AddInt64(&heavyDone, 1)
+		}
+	})
+	wg.Wait()
+	secs := window.Seconds()
+	return float64(lightDone) / secs, float64(heavyDone) / secs
+}
+
+// RenderFig7 formats a Fig7 result as the paper's throughput table.
+func RenderFig7(mix tpcw.Mix, res map[SystemKind][]Fig7Point) string {
+	t := &harness.Table{Header: []string{"EBs", "Offered/s", "MySQL", "SystemX", "SharedDB"}}
+	if len(res[SharedDB]) == 0 {
+		return ""
+	}
+	for i, p := range res[SharedDB] {
+		t.Add(p.EBs, p.Offered, res[MySQL][i].WIPS, res[SystemX][i].WIPS, p.WIPS)
+	}
+	return fmt.Sprintf("TPC-W %s Mix: throughput (WIPS) under varying load\n%s", mix, t)
+}
+
+// RenderFig8 formats a Fig8 result.
+func RenderFig8(mix tpcw.Mix, res map[SystemKind][]Fig8Point) string {
+	t := &harness.Table{Header: []string{"Cores", "MySQL", "SystemX", "SharedDB"}}
+	for i, p := range res[SharedDB] {
+		t.Add(p.Cores, res[MySQL][i].WIPS, res[SystemX][i].WIPS, p.WIPS)
+	}
+	return fmt.Sprintf("TPC-W %s Mix: max throughput vs cores\n%s", mix, t)
+}
+
+// RenderFig9 formats a Fig9 result.
+func RenderFig9(res map[SystemKind][]Fig9Point) string {
+	t := &harness.Table{Header: []string{"Interaction", "MySQL", "SystemX", "SharedDB"}}
+	for i, p := range res[SharedDB] {
+		t.Add(p.Interaction.String(), res[MySQL][i].WIPS, res[SystemX][i].WIPS, p.WIPS)
+	}
+	return "Max throughput (WIPS) of individual web interactions\n" + t.String()
+}
+
+// RenderFig10 formats a Fig10 result.
+func RenderFig10(q Fig10Query, res map[SystemKind][]Fig10Point) string {
+	t := &harness.Table{Header: []string{"Batch", "MySQL", "SystemX", "SharedDB"}}
+	for i, p := range res[SharedDB] {
+		t.Add(p.BatchSize, res[MySQL][i].Elapsed, res[SystemX][i].Elapsed, p.Elapsed)
+	}
+	return fmt.Sprintf("Response time of batches of the %s query\n%s", q, t)
+}
+
+// RenderFig11 formats a Fig11 result: total completed throughput per
+// system, plus each system's completed *light* queries (the paper's
+// robustness claim is about the light stream surviving heavy load).
+func RenderFig11(lightRate float64, res map[SystemKind][]Fig11Point) string {
+	t := &harness.Table{Header: []string{"Heavy/s",
+		"MySQL", "SystemX", "SharedDB",
+		"MySQL-light", "SystemX-light", "SharedDB-light"}}
+	for i, p := range res[SharedDB] {
+		t.Add(p.HeavyRate, res[MySQL][i].Throughput, res[SystemX][i].Throughput,
+			p.Throughput, res[MySQL][i].LightDone, res[SystemX][i].LightDone, p.LightDone)
+	}
+	return fmt.Sprintf("Load interaction: constant %.0f light queries/s + increasing heavy queries\n%s",
+		lightRate, t)
+}

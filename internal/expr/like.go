@@ -1,0 +1,137 @@
+package expr
+
+import (
+	"strings"
+	"sync"
+
+	"shareddb/internal/types"
+)
+
+// Like implements the SQL LIKE operator with '%' (any run) and '_' (any one
+// character) wildcards. TPC-W search statements ("search item by title /
+// author / subject") are LIKE-heavy, and the paper's global plan (Figure 6)
+// contains dedicated "Like Expression" operators, so the matcher is
+// optimized: constant patterns are compiled once, and pure prefix/suffix/
+// contains patterns avoid the general matcher entirely.
+type Like struct {
+	L       Expr
+	Pattern Expr
+	Negate  bool
+
+	mu       sync.Mutex
+	compiled *likeMatcher
+	pattern  string
+}
+
+type likeKind uint8
+
+const (
+	likeGeneral  likeKind = iota
+	likeExact             // no wildcards
+	likePrefix            // abc%
+	likeSuffix            // %abc
+	likeContains          // %abc%
+)
+
+type likeMatcher struct {
+	kind    likeKind
+	needle  string
+	pattern string
+}
+
+func compileLike(pattern string) *likeMatcher {
+	hasUnderscore := strings.ContainsRune(pattern, '_')
+	if !hasUnderscore {
+		switch {
+		case !strings.Contains(pattern, "%"):
+			return &likeMatcher{kind: likeExact, needle: pattern}
+		case strings.Count(pattern, "%") == 1 && strings.HasSuffix(pattern, "%"):
+			return &likeMatcher{kind: likePrefix, needle: pattern[:len(pattern)-1]}
+		case strings.Count(pattern, "%") == 1 && strings.HasPrefix(pattern, "%"):
+			return &likeMatcher{kind: likeSuffix, needle: pattern[1:]}
+		case strings.Count(pattern, "%") == 2 && strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
+			return &likeMatcher{kind: likeContains, needle: pattern[1 : len(pattern)-1]}
+		}
+	}
+	return &likeMatcher{kind: likeGeneral, pattern: pattern}
+}
+
+func (m *likeMatcher) match(s string) bool {
+	switch m.kind {
+	case likeExact:
+		return s == m.needle
+	case likePrefix:
+		return strings.HasPrefix(s, m.needle)
+	case likeSuffix:
+		return strings.HasSuffix(s, m.needle)
+	case likeContains:
+		return strings.Contains(s, m.needle)
+	default:
+		return likeMatch(m.pattern, s)
+	}
+}
+
+// likeMatch is the general wildcard matcher: iterative two-pointer with
+// backtracking on the last '%' (the classic glob algorithm, O(n·m) worst
+// case, linear in practice).
+func likeMatch(pattern, s string) bool {
+	var pi, si int
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Eval applies the LIKE test with NULL propagation.
+func (l *Like) Eval(row types.Row, params []types.Value) types.Value {
+	lv := l.L.Eval(row, params)
+	pv := l.Pattern.Eval(row, params)
+	if lv.IsNull() || pv.IsNull() {
+		return types.Null
+	}
+	pat := pv.AsString()
+
+	l.mu.Lock()
+	if l.compiled == nil || l.pattern != pat {
+		l.compiled = compileLike(pat)
+		l.pattern = pat
+	}
+	m := l.compiled
+	l.mu.Unlock()
+
+	ok := m.match(lv.AsString())
+	if l.Negate {
+		ok = !ok
+	}
+	return types.NewBool(ok)
+}
+
+func (l *Like) String() string {
+	op := " LIKE "
+	if l.Negate {
+		op = " NOT LIKE "
+	}
+	return l.L.String() + op + l.Pattern.String()
+}
+
+// MatchLike exposes the general matcher for tests and for the baseline
+// engine's row-at-a-time filter.
+func MatchLike(pattern, s string) bool { return compileLike(pattern).match(s) }

@@ -1,0 +1,106 @@
+// Package operators implements SharedDB's shared, always-on database
+// operators (paper §3.3, §3.4, §4.2). Every operator follows the skeleton of
+// Algorithm 1: it dequeues the pending queries of one batch generation,
+// consumes the tuples produced for those queries by its input operators,
+// processes them once for all subscribed queries (the data-query model), and
+// pushes results to its consumers.
+//
+// Tuples flow in vectors (batches) "following a vector model of execution
+// for better instruction cache locality" (§3.2). Because a shared operator
+// can serve queries whose inputs come from different places in the global
+// plan (e.g. the shared sort of Figure 2 sorts both join output for Q4 and
+// bare Items tuples for Q5), batches are tagged with a stream identifier and
+// operators hold per-stream configuration (schemas, key extractors).
+package operators
+
+import (
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// Tuple is one row in the data-query model: the row plus the set of queries
+// potentially interested in it (paper §3.1, Figure 1).
+type Tuple struct {
+	Row types.Row
+	QS  queryset.Set
+}
+
+// Batch is a vector of tuples from one stream. All tuples of a batch share
+// the stream's schema.
+type Batch struct {
+	Stream int
+	Tuples []Tuple
+}
+
+// batchSize is the target vector length.
+const batchSize = 1024
+
+// emitter accumulates tuples per (consumer edge, stream) and flushes them as
+// batches, applying query-set routing: each consumer receives a tuple only
+// if the tuple's query set intersects the queries the consumer serves this
+// generation, and the delivered set is restricted to that intersection.
+//
+// Edge query sets are snapshotted at cycle start: the coordinator may begin
+// installing the next generation's sets the moment the sink drains, while
+// this node is still flushing edges that were idle this cycle.
+type emitter struct {
+	node *Node
+	gen  uint64
+	// edgeQueries is the cycle-start snapshot of each consumer edge's
+	// active query set.
+	edgeQueries []queryset.Set
+	// buffered batches per consumer edge index, keyed by stream
+	bufs []map[int]*Batch
+}
+
+func newEmitter(n *Node, gen uint64) *emitter {
+	bufs := make([]map[int]*Batch, len(n.Consumers))
+	eq := make([]queryset.Set, len(n.Consumers))
+	for i, edge := range n.Consumers {
+		bufs[i] = map[int]*Batch{}
+		eq[i] = edge.queries
+	}
+	return &emitter{node: n, gen: gen, edgeQueries: eq, bufs: bufs}
+}
+
+// emit routes one tuple to every interested consumer.
+func (e *emitter) emit(stream int, row types.Row, qs queryset.Set) {
+	for i, edge := range e.node.Consumers {
+		if i >= len(e.edgeQueries) {
+			break // edge added after cycle start: not active this cycle
+		}
+		sub := qs.Intersect(e.edgeQueries[i])
+		if sub.Empty() {
+			continue
+		}
+		b := e.bufs[i][stream]
+		if b == nil {
+			b = &Batch{Stream: stream, Tuples: make([]Tuple, 0, batchSize)}
+			e.bufs[i][stream] = b
+		}
+		b.Tuples = append(b.Tuples, Tuple{Row: row, QS: sub})
+		if len(b.Tuples) >= batchSize {
+			edge.To.inbox.Push(Message{Gen: e.gen, Edge: edge, Batch: b})
+			e.bufs[i][stream] = nil
+		}
+	}
+}
+
+// flushEOS flushes all pending batches and sends end-of-stream on every
+// *active* consumer edge (SendEndOfStream in Algorithm 1). Edges serving no
+// queries this generation belong to consumers that may not be running a
+// cycle; they receive nothing.
+func (e *emitter) flushEOS() {
+	for i, edge := range e.node.Consumers {
+		if i >= len(e.edgeQueries) || e.edgeQueries[i].Empty() {
+			continue
+		}
+		for _, b := range e.bufs[i] {
+			if b != nil && len(b.Tuples) > 0 {
+				edge.To.inbox.Push(Message{Gen: e.gen, Edge: edge, Batch: b})
+			}
+		}
+		e.bufs[i] = map[int]*Batch{}
+		edge.To.inbox.Push(Message{Gen: e.gen, Edge: edge, EOS: true})
+	}
+}

@@ -1,0 +1,107 @@
+package operators
+
+import (
+	"sync"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+)
+
+// FilterOp applies per-query predicates that could not be pushed into a
+// storage access path — the "Like Expression", "Disjunction" and "Filter"
+// boxes of the paper's TPC-W global plan (Figure 6). Each tuple is tested
+// once per subscribed query (the predicate differs per query; only the
+// tuple flow is shared), and its query set is narrowed to the survivors.
+// Filters are streaming: schemas pass through unchanged.
+type FilterOp struct{}
+
+// FilterSpec is the per-query activation: the bound predicate over the
+// schema of the stream this query's tuples arrive on.
+type FilterSpec struct {
+	Pred expr.Expr
+}
+
+type filterState struct {
+	preds []expr.Expr // dense, indexed by generation-scoped query id
+}
+
+// Start indexes the cycle's predicates by query.
+func (f *FilterOp) Start(c *Cycle) {
+	c.opState = &filterState{preds: denseExprs(c.Tasks, func(spec interface{}) expr.Expr {
+		s, _ := spec.(FilterSpec)
+		return s.Pred
+	})}
+}
+
+// Consume narrows each tuple's query set to the queries whose predicate it
+// satisfies.
+func (f *FilterOp) Consume(c *Cycle, b *Batch) {
+	st := c.opState.(*filterState)
+	for _, t := range b.Tuples {
+		qs := t.QS.Retain(func(q queryset.QueryID) bool {
+			if int(q) >= len(st.preds) {
+				return true // query not registered here: pass through
+			}
+			return expr.TruthyEval(st.preds[q], t.Row, nil)
+		})
+		if !qs.Empty() {
+			c.Emit(b.Stream, t.Row, qs)
+		}
+	}
+}
+
+// Finish releases cycle state.
+func (f *FilterOp) Finish(c *Cycle) { c.opState = nil }
+
+// SinkOp terminates the dataflow: it hands result tuples to the engine,
+// which applies per-query projection and delivers rows to waiting clients.
+// The engine registers the per-generation callback via SetHandler before
+// starting the cycle.
+type SinkOp struct {
+	mu      sync.Mutex
+	onTuple func(stream int, t Tuple)
+}
+
+// SetHandler installs the tuple callback for the next cycle.
+func (s *SinkOp) SetHandler(fn func(stream int, t Tuple)) {
+	s.mu.Lock()
+	s.onTuple = fn
+	s.mu.Unlock()
+}
+
+// Start begins a sink cycle.
+func (s *SinkOp) Start(*Cycle) {}
+
+// Consume forwards tuples to the engine.
+func (s *SinkOp) Consume(_ *Cycle, b *Batch) {
+	s.mu.Lock()
+	fn := s.onTuple
+	s.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, t := range b.Tuples {
+		fn(b.Stream, t)
+	}
+}
+
+// Finish completes the sink cycle; the node's OnDone callback (set in
+// CycleStart) signals the engine afterwards.
+func (s *SinkOp) Finish(*Cycle) {}
+
+// denseExprs builds a dense query-id-indexed slice from per-task specs.
+// Generation-scoped query ids are small consecutive integers, so slice
+// indexing replaces map lookups on the per-tuple hot path.
+func denseExprs(tasks []Task, get func(spec interface{}) expr.Expr) []expr.Expr {
+	maxID := queryset.QueryID(0)
+	for _, t := range tasks {
+		if t.Query > maxID {
+			maxID = t.Query
+		}
+	}
+	out := make([]expr.Expr, maxID+1)
+	for _, t := range tasks {
+		out[t.Query] = get(t.Spec)
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package operators
+
+import (
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// GroupOp is the shared group-by (paper §3.4): "In the first phase, the
+// input tuples are grouped. Again, this phase can be shared so that all the
+// tuples that are relevant for all active queries are grouped in one big
+// batch. In the second phase, HAVING predicates and aggregation functions
+// are applied to the tuples of each group ... for each query individually."
+//
+// Phase 1 hashes every tuple once on its group key (shared). Aggregate
+// states are kept per (group, query) because each query aggregates only the
+// tuples it subscribed to — this per-query fan-out is the NF2-inherent part
+// of the work and is what the f(o) vs Σf(ni) trade-off of §3.5 is about.
+type GroupOp struct {
+	Streams   map[int]GroupStream
+	Aggs      []AggDef
+	OutStream int
+}
+
+// GroupStream configures extraction for one input stream.
+type GroupStream struct {
+	GroupCols []int       // group key columns in the stream's schema
+	AggArgs   []expr.Expr // one per AggDef; nil for COUNT(*)
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// AggDef declares one aggregate computed by the operator.
+type AggDef struct {
+	Kind     AggKind
+	Distinct bool
+}
+
+// GroupSpec is the per-query activation: the bound HAVING predicate over
+// the operator's output schema (group columns followed by aggregates).
+// Scalar marks queries without GROUP BY columns, which per SQL semantics
+// produce exactly one row even over empty input (COUNT(*) = 0).
+type GroupSpec struct {
+	Having expr.Expr
+	Scalar bool
+}
+
+// aggState accumulates one aggregate for one (group, query).
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max types.Value
+	distinct map[string]struct{}
+}
+
+func (a *aggState) add(v types.Value, def AggDef) {
+	if v.IsNull() {
+		return // SQL aggregates ignore NULLs (COUNT(*) passes a marker)
+	}
+	if def.Distinct {
+		if a.distinct == nil {
+			a.distinct = map[string]struct{}{}
+		}
+		k := types.EncodeKey(v)
+		if _, seen := a.distinct[k]; seen {
+			return
+		}
+		a.distinct[k] = struct{}{}
+	}
+	a.count++
+	switch v.Kind() {
+	case types.KindFloat:
+		a.isFloat = true
+		a.sumF += v.Float
+	case types.KindInt, types.KindBool, types.KindTime:
+		a.sumI += v.Int
+	}
+	if a.min.IsNull() || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result(def AggDef) types.Value {
+	switch def.Kind {
+	case AggCount:
+		return types.NewInt(a.count)
+	case AggSum:
+		if a.count == 0 {
+			return types.Null
+		}
+		if a.isFloat {
+			return types.NewFloat(a.sumF + float64(a.sumI))
+		}
+		return types.NewInt(a.sumI)
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	case AggAvg:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat((a.sumF + float64(a.sumI)) / float64(a.count))
+	default:
+		return types.Null
+	}
+}
+
+type groupEntry struct {
+	keyVals []types.Value
+	// perQuery is a dense slice indexed by generation-scoped query id
+	// (nil for queries without state); aggStates for one query are stored
+	// contiguously.
+	perQuery [][]aggState
+}
+
+type groupState struct {
+	groups  map[string]*groupEntry
+	having  map[queryset.QueryID]expr.Expr
+	scalar  map[queryset.QueryID]bool
+	emitted map[queryset.QueryID]bool
+}
+
+// Start initializes the cycle's hash table and per-query HAVING predicates.
+func (g *GroupOp) Start(c *Cycle) {
+	st := &groupState{
+		groups:  map[string]*groupEntry{},
+		having:  map[queryset.QueryID]expr.Expr{},
+		scalar:  map[queryset.QueryID]bool{},
+		emitted: map[queryset.QueryID]bool{},
+	}
+	for _, t := range c.Tasks {
+		spec, _ := t.Spec.(GroupSpec)
+		st.having[t.Query] = spec.Having
+		if spec.Scalar {
+			st.scalar[t.Query] = true
+		}
+	}
+	c.opState = st
+}
+
+// Consume hashes each tuple into its group once and updates the aggregate
+// state of every subscribed query.
+func (g *GroupOp) Consume(c *Cycle, b *Batch) {
+	cfg, ok := g.Streams[b.Stream]
+	if !ok {
+		return
+	}
+	st := c.opState.(*groupState)
+	var argVals [8]types.Value // stack buffer for the common agg counts
+	args := argVals[:0]
+	if len(g.Aggs) > len(argVals) {
+		args = make([]types.Value, len(g.Aggs))
+	} else {
+		args = argVals[:len(g.Aggs)]
+	}
+	for _, t := range b.Tuples {
+		keyVals := make([]types.Value, len(cfg.GroupCols))
+		for i, col := range cfg.GroupCols {
+			keyVals[i] = t.Row[col]
+		}
+		k := types.EncodeKey(keyVals...)
+		ge := st.groups[k]
+		if ge == nil {
+			ge = &groupEntry{keyVals: keyVals}
+			st.groups[k] = ge
+		}
+		// evaluate aggregate arguments once per tuple, shared across
+		// subscribed queries
+		for i := range g.Aggs {
+			if i < len(cfg.AggArgs) && cfg.AggArgs[i] != nil {
+				args[i] = cfg.AggArgs[i].Eval(t.Row, nil)
+			} else {
+				args[i] = types.NewInt(1) // COUNT(*) marker
+			}
+		}
+		for _, qid := range t.QS.IDs() {
+			for int(qid) >= len(ge.perQuery) {
+				ge.perQuery = append(ge.perQuery, nil)
+			}
+			states := ge.perQuery[qid]
+			if states == nil {
+				states = make([]aggState, len(g.Aggs))
+				ge.perQuery[qid] = states
+			}
+			for i, def := range g.Aggs {
+				states[i].add(args[i], def)
+			}
+		}
+	}
+}
+
+// Finish runs phase 2: per (group, query) HAVING evaluation and emission.
+func (g *GroupOp) Finish(c *Cycle) {
+	st := c.opState.(*groupState)
+	for _, ge := range st.groups {
+		for q, states := range ge.perQuery {
+			if states == nil {
+				continue
+			}
+			qid := queryset.QueryID(q)
+			row := make(types.Row, 0, len(ge.keyVals)+len(g.Aggs))
+			row = append(row, ge.keyVals...)
+			for i, def := range g.Aggs {
+				row = append(row, states[i].result(def))
+			}
+			if h := st.having[qid]; h != nil && !expr.TruthyEval(h, row, nil) {
+				continue
+			}
+			st.emitted[qid] = true
+			c.Emit(g.OutStream, row, queryset.Single(qid))
+		}
+	}
+	// scalar aggregates over empty input produce one row of defaults
+	for qid, isScalar := range st.scalar {
+		if !isScalar || st.emitted[qid] {
+			continue
+		}
+		row := make(types.Row, len(g.Aggs))
+		empty := &aggState{}
+		for i, def := range g.Aggs {
+			row[i] = empty.result(def)
+		}
+		if h := st.having[qid]; h != nil && !expr.TruthyEval(h, row, nil) {
+			continue
+		}
+		c.Emit(g.OutStream, row, queryset.Single(qid))
+	}
+	c.opState = nil
+}

@@ -1,0 +1,239 @@
+package operators
+
+import (
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// Shared joins (paper §3.3, Figure 3): one big join serves every concurrent
+// query. The build side holds the union of the tuples any query wants; the
+// probe matches on the join key AND a non-empty query-set intersection
+// ("R.id = S.id && R.query_id = S.query_id" in Figure 3); matched tuples
+// carry the intersection downstream.
+//
+// Because outer tuples can arrive from different producers with different
+// schemas (Figure 2: join 2 receives Orders⋈Users tuples for Q3 and bare
+// Orders tuples for Q4), the operator holds per-stream key extractors and
+// output stream ids.
+
+// JoinOuter configures one outer (probe-side) stream of a join.
+type JoinOuter struct {
+	KeyCols   []int // key columns in the outer stream's schema
+	OutStream int   // stream id of concat(outer, inner) results
+}
+
+// HashJoinOp is the shared hash join. The inner (build) side is the single
+// producer edge InnerEdge; all other producer edges are outer streams.
+//
+// ByQueryID selects the alternative "set-based" join of §3.3 that hashes the
+// build side on query_id instead of the key (Helmer & Moerkotte [16]); it
+// pays off when per-query inner sets are tiny and is exercised by ablation
+// benchmark A3.
+type HashJoinOp struct {
+	InnerKeyCols []int // key columns in the inner stream's schema
+	InnerStream  int
+	Outers       map[int]JoinOuter // by outer stream id
+	ByQueryID    bool
+
+	innerEdge *Edge // producer edge delivering the build side (set by the plan)
+
+	// per-cycle state
+	buildKey  map[string][]Tuple           // key → inner tuples
+	buildQID  map[queryset.QueryID][]Tuple // query id → inner tuples
+	pending   []*Batch                     // outer batches buffered until build completes
+	innerDone bool
+}
+
+// JoinSpec is the per-query activation of a join. Shared hash joins need no
+// per-query state; the type exists so plans can treat all operators
+// uniformly.
+type JoinSpec struct{}
+
+// Start resets the cycle state.
+func (j *HashJoinOp) Start(*Cycle) {
+	j.buildKey = map[string][]Tuple{}
+	j.buildQID = map[queryset.QueryID][]Tuple{}
+	j.pending = nil
+	j.innerDone = false
+}
+
+// Consume builds from inner batches and probes (or buffers) outer batches.
+// Inner tuples stream into the build phase as they arrive (§3.2: "an
+// operator can stream its output into the build phase of a hash join").
+func (j *HashJoinOp) Consume(c *Cycle, b *Batch) {
+	if b.Stream == j.InnerStream {
+		for _, t := range b.Tuples {
+			if j.ByQueryID {
+				for _, qid := range t.QS.IDs() {
+					j.buildQID[qid] = append(j.buildQID[qid], t)
+				}
+			} else {
+				k := keyOf(t.Row, j.InnerKeyCols)
+				j.buildKey[k] = append(j.buildKey[k], t)
+			}
+		}
+		return
+	}
+	if !j.innerDone {
+		j.pending = append(j.pending, b)
+		return
+	}
+	j.probeBatch(c, b)
+}
+
+// EdgeEOS unblocks probing once the inner side has been fully built.
+func (j *HashJoinOp) EdgeEOS(c *Cycle, e *Edge) {
+	if e == nil || j.innerDone {
+		return
+	}
+	// The inner side is complete when the edge carrying InnerStream
+	// finishes. Outer EOS arriving earlier must not trigger the drain.
+	if !j.isInnerEdge(e) {
+		return
+	}
+	j.innerDone = true
+	for _, b := range j.pending {
+		j.probeBatch(c, b)
+	}
+	j.pending = nil
+}
+
+// SetInnerEdge marks which producer edge carries the build side; called by
+// the plan compiler after wiring.
+func (j *HashJoinOp) SetInnerEdge(e *Edge) { j.innerEdge = e }
+
+func (j *HashJoinOp) isInnerEdge(e *Edge) bool { return j.innerEdge == e }
+
+var _ Operator = (*HashJoinOp)(nil)
+
+// Finish probes any outers still buffered (possible when the inner edge was
+// idle this generation) and releases cycle state.
+func (j *HashJoinOp) Finish(c *Cycle) {
+	for _, b := range j.pending {
+		j.probeBatch(c, b)
+	}
+	j.pending = nil
+	j.buildKey = nil
+	j.buildQID = nil
+}
+
+func (j *HashJoinOp) probeBatch(c *Cycle, b *Batch) {
+	cfg, ok := j.Outers[b.Stream]
+	if !ok {
+		return
+	}
+	for _, t := range b.Tuples {
+		if j.ByQueryID {
+			for _, qid := range t.QS.IDs() {
+				for _, it := range j.buildQID[qid] {
+					if keysEqual(t.Row, cfg.KeyCols, it.Row, j.InnerKeyCols) {
+						c.Emit(cfg.OutStream, t.Row.Concat(it.Row), queryset.Single(qid))
+					}
+				}
+			}
+			continue
+		}
+		k := keyOf(t.Row, cfg.KeyCols)
+		for _, it := range j.buildKey[k] {
+			qs := t.QS.Intersect(it.QS)
+			if !qs.Empty() {
+				c.Emit(cfg.OutStream, t.Row.Concat(it.Row), qs)
+			}
+		}
+	}
+}
+
+func keyOf(row types.Row, cols []int) string {
+	vals := make([]types.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = row[c]
+	}
+	return types.EncodeKey(vals...)
+}
+
+func keysEqual(a types.Row, acols []int, b types.Row, bcols []int) bool {
+	for i := range acols {
+		if !a[acols[i]].Equal(b[bcols[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IndexJoinOp is the shared index nested-loop join (paper §4.4): outer
+// tuples probe a B-tree index of a base table directly. Per-query predicates
+// on the inner table (which a hash join would have applied in the inner
+// child scan) are evaluated as per-query residuals against fetched rows.
+type IndexJoinOp struct {
+	Table  *storage.Table
+	Index  *storage.Index
+	Outers map[int]JoinOuter // by outer stream id
+
+	// per-cycle: residual predicate per query over the inner table schema
+	// (dense slice indexed by generation-scoped query id), and the
+	// lock-free visibility view (safe under the generation barrier)
+	residuals []expr.Expr
+	view      *storage.ReadView
+}
+
+// IndexJoinSpec is the per-query activation: the bound predicate this query
+// imposes on the inner table (nil = none).
+type IndexJoinSpec struct {
+	InnerResidual expr.Expr
+}
+
+// Start collects the per-query inner residuals.
+func (j *IndexJoinOp) Start(c *Cycle) {
+	j.residuals = denseExprs(c.Tasks, func(spec interface{}) expr.Expr {
+		s, _ := spec.(IndexJoinSpec)
+		return s.InnerResidual
+	})
+	j.view = j.Table.ReadView(c.TS)
+}
+
+// Consume probes the index for every outer tuple.
+func (j *IndexJoinOp) Consume(c *Cycle, b *Batch) {
+	cfg, ok := j.Outers[b.Stream]
+	if !ok {
+		return
+	}
+	innerCols := j.Index.Cols
+	for _, t := range b.Tuples {
+		key := make([]types.Value, len(cfg.KeyCols))
+		for i, col := range cfg.KeyCols {
+			key[i] = t.Row[col]
+		}
+		j.Index.Tree().SeekEQ(key, func(rid uint64) bool {
+			inner, visible := j.view.Visible(rid)
+			if !visible {
+				return true
+			}
+			for i := range key {
+				if i >= len(innerCols) {
+					break
+				}
+				if !inner[innerCols[i]].Equal(key[i]) {
+					return true // stale index entry
+				}
+			}
+			qs := t.QS.Retain(func(q queryset.QueryID) bool {
+				if int(q) >= len(j.residuals) {
+					return false
+				}
+				return expr.TruthyEval(j.residuals[q], inner, nil)
+			})
+			if !qs.Empty() {
+				c.Emit(cfg.OutStream, t.Row.Concat(inner), qs)
+			}
+			return true
+		})
+	}
+}
+
+// Finish releases cycle state.
+func (j *IndexJoinOp) Finish(*Cycle) {
+	j.residuals = nil
+	j.view = nil
+}

@@ -1,0 +1,214 @@
+package operators
+
+import (
+	"fmt"
+	"sync"
+
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// Node is one always-on operator in the global query plan. Each node owns a
+// goroutine (the paper pins each operator to a CPU core with hard affinity;
+// a long-lived goroutine is this implementation's substitute) and an
+// unbounded incoming message queue. Nodes are connected by Edges.
+type Node struct {
+	ID        int
+	Name      string
+	Op        Operator
+	Consumers []*Edge // outgoing edges, set during plan construction
+	Producers []*Edge // incoming edges
+
+	inbox *SyncedQueue
+	wg    sync.WaitGroup
+}
+
+// Edge connects a producer node to a consumer node. queries is
+// per-generation state: the set of active queries routed over this edge,
+// written by the coordinator between generations (the generation barrier
+// makes this safe) and read by the producer's emitter during the cycle.
+type Edge struct {
+	From, To *Node
+	queries  queryset.Set
+}
+
+// SetQueries assigns the active query set for the upcoming generation.
+// Must only be called between generations.
+func (e *Edge) SetQueries(qs queryset.Set) { e.queries = qs }
+
+// Queries returns the edge's active query set.
+func (e *Edge) Queries() queryset.Set { return e.queries }
+
+// NewNode creates a node with the given operator behavior.
+func NewNode(id int, name string, op Operator) *Node {
+	return &Node{ID: id, Name: name, Op: op, inbox: NewSyncedQueue()}
+}
+
+// Message is the unit of communication between nodes.
+type Message struct {
+	Gen   uint64
+	Edge  *Edge
+	Batch *Batch
+	EOS   bool
+	Ctrl  *CycleStart
+}
+
+// Connect wires an edge from producer to consumer and registers it on both.
+func Connect(from, to *Node) *Edge {
+	e := &Edge{From: from, To: to}
+	from.Consumers = append(from.Consumers, e)
+	to.Producers = append(to.Producers, e)
+	return e
+}
+
+// CycleStart activates a node for one generation.
+type CycleStart struct {
+	Gen             uint64
+	TS              uint64 // storage snapshot for this generation
+	Tasks           []Task // per-query activations at this node
+	ActiveProducers int    // producer edges that will send EOS this cycle
+	OnDone          func() // optional completion callback (used by sinks)
+}
+
+// Task is one active query's registration at a node for one generation.
+// Spec carries the operator-specific bound configuration (e.g. a scan
+// predicate with parameters substituted).
+type Task struct {
+	Query queryset.QueryID
+	Spec  interface{}
+}
+
+// Cycle is the per-generation execution context handed to the operator.
+type Cycle struct {
+	Gen   uint64
+	TS    uint64
+	Tasks []Task
+
+	node *Node
+	em   *emitter
+	all  queryset.Set // cached union of task query ids
+
+	// opState carries operator-private per-cycle state (a node executes at
+	// most one cycle at a time, so a single slot suffices).
+	opState interface{}
+}
+
+// Emit routes a result tuple to all interested consumers.
+func (c *Cycle) Emit(stream int, row types.Row, qs queryset.Set) {
+	c.em.emit(stream, row, qs)
+}
+
+// Queries returns the set of query ids active at this node this cycle.
+func (c *Cycle) Queries() queryset.Set { return c.all }
+
+// Operator is the behavior of a shared operator, mirroring Algorithm 1:
+// Start activates the cycle's queries, Consume is ProcessTuple over one
+// incoming vector, Finish runs after end-of-stream from every active
+// producer (where blocking operators such as sort emit their output).
+type Operator interface {
+	Start(c *Cycle)
+	Consume(c *Cycle, b *Batch)
+	Finish(c *Cycle)
+}
+
+// EOSAware operators (e.g. hash joins) are told when an individual producer
+// edge reaches end-of-stream, so they can switch phases before the whole
+// cycle ends (build → probe).
+type EOSAware interface {
+	EdgeEOS(c *Cycle, e *Edge)
+}
+
+// Start launches the node's goroutine.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.run()
+	}()
+}
+
+// Stop closes the inbox and waits for the goroutine to exit. Pending work is
+// abandoned; Stop is for shutdown, not generation control.
+func (n *Node) Stop() {
+	n.inbox.Close()
+	n.wg.Wait()
+}
+
+// Inbox exposes the node's queue (the coordinator pushes CycleStart
+// messages; producers push data).
+func (n *Node) Inbox() *SyncedQueue { return n.inbox }
+
+// run is the outer loop: wait for a generation activation, execute the
+// cycle, repeat. Data can overtake a node's CycleStart (the coordinator
+// pushes activations node by node while fast producers are already
+// emitting), so out-of-cycle data is stashed and replayed when the matching
+// activation arrives.
+func (n *Node) run() {
+	var stash []Message
+	for {
+		msg, ok := n.inbox.Pop()
+		if !ok {
+			return
+		}
+		if msg.Ctrl == nil {
+			stash = append(stash, msg)
+			continue
+		}
+		stash = n.runCycle(msg.Ctrl, stash)
+	}
+}
+
+// runCycle executes one generation at this node (the body of Algorithm 1's
+// outer while-loop). It consumes stashed early-arrival messages first and
+// returns any messages belonging to a future generation.
+func (n *Node) runCycle(cs *CycleStart, stash []Message) []Message {
+	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, node: n, em: newEmitter(n, cs.Gen)}
+	ids := make([]queryset.QueryID, len(cs.Tasks))
+	for i, t := range cs.Tasks {
+		ids[i] = t.Query
+	}
+	c.all = queryset.Of(ids...)
+
+	n.Op.Start(c)
+	remaining := cs.ActiveProducers
+
+	var future []Message
+	handle := func(msg Message) {
+		if msg.Gen != cs.Gen {
+			if msg.Gen > cs.Gen {
+				future = append(future, msg)
+			}
+			return // older generations are dead; drop
+		}
+		if msg.EOS {
+			remaining--
+			if ea, ok := n.Op.(EOSAware); ok {
+				ea.EdgeEOS(c, msg.Edge)
+			}
+			return
+		}
+		if msg.Batch != nil {
+			n.Op.Consume(c, msg.Batch)
+		}
+	}
+
+	for _, msg := range stash {
+		handle(msg)
+	}
+	for remaining > 0 {
+		msg, ok := n.inbox.Pop()
+		if !ok {
+			return future
+		}
+		if msg.Ctrl != nil {
+			panic(fmt.Sprintf("operators: node %s received CycleStart mid-cycle", n.Name))
+		}
+		handle(msg)
+	}
+	n.Op.Finish(c)
+	c.em.flushEOS()
+	if cs.OnDone != nil {
+		cs.OnDone()
+	}
+	return future
+}

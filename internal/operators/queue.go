@@ -1,0 +1,69 @@
+package operators
+
+import "sync"
+
+// SyncedQueue is the unbounded MPSC queue of Algorithm 1 ("Data:
+// SyncedQueue iqq; Data: SyncedQueue irq"). Unbounded queues are what make
+// SharedDB's push-based dataflow deadlock-free (§2: shared computation "may
+// result in deadlocks in a pull-oriented query processor ... alleviated by a
+// push-oriented query processing approach").
+type SyncedQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+// NewSyncedQueue returns an empty open queue.
+func NewSyncedQueue() *SyncedQueue {
+	q := &SyncedQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues m. Push on a closed queue is a no-op.
+func (q *SyncedQueue) Push(m Message) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, m)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// Pop dequeues the next message, blocking while the queue is empty.
+// ok is false once the queue is closed and drained.
+func (q *SyncedQueue) Pop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Message{}, false
+	}
+	m := q.items[0]
+	// Shift head; reclaim the backing array periodically to avoid
+	// unbounded growth of the consumed prefix.
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.items = nil
+	}
+	return m, true
+}
+
+// Close wakes all blocked consumers; subsequent Pops drain then report ok =
+// false.
+func (q *SyncedQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len returns the current queue length.
+func (q *SyncedQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,83 @@
+package operators
+
+import (
+	"shareddb/internal/btree"
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// ScanOp is a shared table scan source: one ClockScan cycle per generation
+// answers all queries reading the table (paper §3.4 / §4.4). It has no
+// producers; all work happens in Start.
+type ScanOp struct {
+	Table     *storage.Table
+	OutStream int
+}
+
+// ScanSpec is the per-query activation of a scan: the bound (parameter-
+// substituted) predicate. Nil selects all rows.
+type ScanSpec struct {
+	Pred expr.Expr
+}
+
+// Start runs the shared scan for the cycle's queries.
+func (s *ScanOp) Start(c *Cycle) {
+	clients := make([]storage.ScanClient, 0, len(c.Tasks))
+	for _, t := range c.Tasks {
+		spec, _ := t.Spec.(ScanSpec)
+		clients = append(clients, storage.ScanClient{ID: t.Query, Pred: spec.Pred})
+	}
+	s.Table.SharedScan(c.TS, clients, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+		c.Emit(s.OutStream, row, qs)
+	})
+}
+
+// Consume is never called: scans have no producers.
+func (s *ScanOp) Consume(*Cycle, *Batch) {}
+
+// Finish completes the cycle (output was emitted in Start).
+func (s *ScanOp) Finish(*Cycle) {}
+
+// ProbeOp is a shared index-probe source (paper §4.4): all look-ups of a
+// generation run back-to-back against one index, with identical keys
+// deduplicated by the storage layer.
+type ProbeOp struct {
+	Table     *storage.Table
+	Index     *storage.Index
+	OutStream int
+}
+
+// ProbeSpec is the per-query activation of an index probe. Key (equality,
+// prefix semantics) or Lo/Hi (range) select the entries; Residual filters
+// fetched rows.
+type ProbeSpec struct {
+	Key      btree.Key
+	Lo, Hi   btree.Key
+	LoIncl   bool
+	HiIncl   bool
+	Residual expr.Expr
+}
+
+// Start runs the shared probe cycle.
+func (p *ProbeOp) Start(c *Cycle) {
+	clients := make([]storage.ProbeClient, 0, len(c.Tasks))
+	for _, t := range c.Tasks {
+		spec, _ := t.Spec.(ProbeSpec)
+		clients = append(clients, storage.ProbeClient{
+			ID: t.Query, Key: spec.Key,
+			Lo: spec.Lo, Hi: spec.Hi, LoIncl: spec.LoIncl, HiIncl: spec.HiIncl,
+			Residual: spec.Residual,
+		})
+	}
+	p.Table.SharedProbe(c.TS, p.Index, clients, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+		c.Emit(p.OutStream, row, qs)
+	})
+}
+
+// Consume is never called: probes have no producers.
+func (p *ProbeOp) Consume(*Cycle, *Batch) {}
+
+// Finish completes the cycle.
+func (p *ProbeOp) Finish(*Cycle) {}

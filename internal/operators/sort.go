@@ -1,0 +1,188 @@
+package operators
+
+import (
+	"sort"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// SortOp is the shared sort / shared Top-N operator (paper §3.4, Figure 4):
+// one big sort over the union of all subscribed queries' tuples, followed by
+// per-query routing that preserves order. Top-N is "an extension of the sort
+// operator": the shared phase sorts everything, then per-query counters cut
+// each query's output after its N rows — so plain ORDER BY queries and
+// LIMIT queries share the same sort.
+//
+// Tuples may arrive on multiple streams with different schemas; per-stream
+// key extractors evaluate the (semantically identical) sort key on each.
+type SortOp struct {
+	Streams map[int]SortStream // key extraction per input stream
+}
+
+// SortStream configures one input stream of a shared sort.
+type SortStream struct {
+	Keys      []SortKey
+	OutStream int // usually the input stream id (schema unchanged)
+}
+
+// SortKey is one sort key over a stream's schema.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// SortSpec is the per-query activation: the query's row limit (Top-N), or
+// <= 0 for unlimited (plain ORDER BY).
+type SortSpec struct {
+	Limit int
+}
+
+type sortedTuple struct {
+	stream int
+	t      Tuple
+	keys   []types.Value
+}
+
+// sortState is per-cycle; kept on the operator (one cycle at a time per
+// node).
+type sortState struct {
+	tuples []sortedTuple
+	limits map[queryset.QueryID]int
+}
+
+// cycle state
+func (s *SortOp) state(c *Cycle) *sortState { return c.opState.(*sortState) }
+
+// Start initializes the sort buffer and per-query limits.
+func (s *SortOp) Start(c *Cycle) {
+	st := &sortState{limits: map[queryset.QueryID]int{}}
+	for _, t := range c.Tasks {
+		spec, _ := t.Spec.(SortSpec)
+		st.limits[t.Query] = spec.Limit
+	}
+	c.opState = st
+}
+
+// Consume buffers tuples with their extracted sort keys (ProcessTuple of
+// Algorithm 1 for a blocking operator: "append the tuple to a buffer
+// structure ... the same buffer structure is used for all the queries that
+// belong to the same batch").
+func (s *SortOp) Consume(c *Cycle, b *Batch) {
+	cfg, ok := s.Streams[b.Stream]
+	if !ok {
+		return
+	}
+	st := s.state(c)
+	for _, t := range b.Tuples {
+		keys := make([]types.Value, len(cfg.Keys))
+		for i, k := range cfg.Keys {
+			keys[i] = k.E.Eval(t.Row, nil)
+		}
+		st.tuples = append(st.tuples, sortedTuple{stream: b.Stream, t: t, keys: keys})
+	}
+}
+
+// Finish sorts for all queries and emits in order with per-query Top-N
+// filtering.
+//
+// Two regimes, per the paper's f(o) vs Σf(nᵢ) analysis (§3.5): when tuples
+// are shared between queries, one big sort of the union is performed (the
+// shared sort of Figure 4, f(o) < Σf(nᵢ) under overlap). When every tuple
+// belongs to exactly one query — typical for group-by output, where rows
+// are per-(group, query) — there is nothing to share (o = n, the paper's
+// worst case), so the operator sorts each query's partition separately:
+// same results, Σf(nᵢ) < f(n) work. Emission order only matters within a
+// query, so partition-by-partition emission is equivalent.
+func (s *SortOp) Finish(c *Cycle) {
+	st := s.state(c)
+	// Desc flags are part of the operator's sharing signature, so every
+	// stream has identical flags; use the first stream's.
+	var desc []bool
+	for _, cfg := range s.Streams {
+		desc = make([]bool, len(cfg.Keys))
+		for i, k := range cfg.Keys {
+			desc[i] = k.Desc
+		}
+		break
+	}
+	less := func(a, b *sortedTuple) bool {
+		for i := range a.keys {
+			d := a.keys[i].Compare(b.keys[i])
+			if d == 0 {
+				continue
+			}
+			if i < len(desc) && desc[i] {
+				return d > 0
+			}
+			return d < 0
+		}
+		return false
+	}
+
+	allSingleton := true
+	for i := range st.tuples {
+		if st.tuples[i].t.QS.Len() != 1 {
+			allSingleton = false
+			break
+		}
+	}
+
+	if allSingleton {
+		partitions := map[queryset.QueryID][]sortedTuple{}
+		for _, sr := range st.tuples {
+			q := sr.t.QS.IDs()[0]
+			partitions[q] = append(partitions[q], sr)
+		}
+		for q, part := range partitions {
+			sort.SliceStable(part, func(a, b int) bool { return less(&part[a], &part[b]) })
+			lim := st.limits[q]
+			if lim > 0 && len(part) > lim {
+				part = part[:lim]
+			}
+			for _, sr := range part {
+				c.Emit(s.Streams[sr.stream].OutStream, sr.t.Row, sr.t.QS)
+			}
+		}
+		c.opState = nil
+		return
+	}
+
+	sort.SliceStable(st.tuples, func(a, b int) bool { return less(&st.tuples[a], &st.tuples[b]) })
+	counts := map[queryset.QueryID]int{}
+	remaining := 0
+	unlimited := false
+	for _, lim := range st.limits {
+		if lim > 0 {
+			remaining++
+		} else {
+			unlimited = true
+		}
+	}
+	for i := range st.tuples {
+		sr := &st.tuples[i]
+		qs := sr.t.QS.Retain(func(q queryset.QueryID) bool {
+			lim := st.limits[q]
+			if lim <= 0 {
+				return true
+			}
+			if counts[q] >= lim {
+				return false
+			}
+			counts[q]++
+			if counts[q] == lim {
+				remaining--
+			}
+			return true
+		})
+		if !qs.Empty() {
+			out := s.Streams[sr.stream].OutStream
+			c.Emit(out, sr.t.Row, qs)
+		}
+		if !unlimited && remaining == 0 {
+			break // every Top-N query satisfied
+		}
+	}
+	c.opState = nil
+}

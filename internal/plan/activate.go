@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"shareddb/internal/operators"
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// Activation is one live query of a generation: a statement instance with
+// its parameters and a generation-unique query id.
+type Activation struct {
+	QID    queryset.QueryID
+	Stmt   *Statement
+	Params []types.Value
+}
+
+// RunGeneration executes one heartbeat of the global plan (paper §3.2):
+// every activation's tasks are queued at the operators along its path, edge
+// query-sets are installed, and all active nodes are started for generation
+// gen reading snapshot ts. onTuple receives every tuple reaching the sink;
+// onDone fires when the generation has fully drained.
+//
+// RunGeneration returns immediately; completion is signaled via onDone. The
+// caller must not start the next generation before onDone (the generation
+// barrier is what makes edge/plan mutation safe).
+func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple func(stream int, t operators.Tuple), onDone func()) {
+	p.mu.Lock()
+
+	if len(acts) == 0 {
+		p.mu.Unlock()
+		onDone()
+		return
+	}
+
+	// reset per-generation edge state
+	for _, e := range p.edges {
+		e.SetQueries(queryset.Set{})
+	}
+
+	tasks := map[*operators.Node][]operators.Task{}
+	edgeQ := map[*operators.Edge][]queryset.QueryID{}
+	for _, a := range acts {
+		for _, st := range a.Stmt.steps {
+			tasks[st.node] = append(tasks[st.node], operators.Task{Query: a.QID, Spec: st.makeSpec(a.Params)})
+		}
+		for _, e := range a.Stmt.pathEdges {
+			edgeQ[e] = append(edgeQ[e], a.QID)
+		}
+	}
+	for e, ids := range edgeQ {
+		e.SetQueries(queryset.Of(ids...))
+	}
+
+	activeProducers := func(n *operators.Node) int {
+		c := 0
+		for _, e := range n.Producers {
+			if !e.Queries().Empty() {
+				c++
+			}
+		}
+		return c
+	}
+
+	p.SinkOp.SetHandler(onTuple)
+	p.sink.Inbox().Push(operators.Message{Ctrl: &operators.CycleStart{
+		Gen: gen, TS: ts,
+		ActiveProducers: activeProducers(p.sink),
+		OnDone:          onDone,
+	}})
+	for n, nt := range tasks {
+		n.Inbox().Push(operators.Message{Ctrl: &operators.CycleStart{
+			Gen: gen, TS: ts, Tasks: nt,
+			ActiveProducers: activeProducers(n),
+		}})
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,612 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"shareddb/internal/btree"
+	"shareddb/internal/expr"
+	"shareddb/internal/operators"
+	"shareddb/internal/sql"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// dbCatalog adapts the storage catalog for the SQL binder.
+type dbCatalog struct{ db *storage.Database }
+
+func (c dbCatalog) TableSchema(name string) (*types.Schema, bool) {
+	t := c.db.Table(name)
+	if t == nil {
+		return nil, false
+	}
+	return t.Schema(), true
+}
+
+// Prepare parses, binds and compiles a statement into the global plan,
+// sharing operators with previously registered statements wherever the
+// sharing signatures match. Prepare may be called at any time between
+// generations — this is also how ad-hoc queries join the plan (§3.2: plan
+// operators act as materialized views for ad-hoc queries).
+func (p *GlobalPlan) Prepare(sqlText string) (*Statement, error) {
+	stmtAST, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := sql.PlanStatement(stmtAST, dbCatalog{p.db})
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	s := &Statement{ID: len(p.stmts), SQL: sqlText, NumParams: sql.NumParams(stmtAST), SinkLimit: -1}
+	switch b := bound.(type) {
+	case *sql.WritePlan:
+		s.Write = b
+	case sql.LogicalPlan:
+		if err := p.compileSelect(s, b); err != nil {
+			return nil, err
+		}
+	case *sql.DDLPlan:
+		return nil, fmt.Errorf("plan: DDL must be executed, not prepared: %s", sqlText)
+	default:
+		return nil, fmt.Errorf("plan: unsupported statement %T", bound)
+	}
+	p.stmts = append(p.stmts, s)
+	return s, nil
+}
+
+// compiled is the result of compiling one logical subtree for one statement.
+type compiled struct {
+	node   *operators.Node
+	stream *streamInfo
+	steps  []stepBinding
+	edges  []*operators.Edge
+}
+
+// compileSelect peels the top of the logical plan (Distinct → Project →
+// Limit → Sort) and compiles the rest bottom-up into shared nodes.
+func (p *GlobalPlan) compileSelect(s *Statement, lp sql.LogicalPlan) error {
+	if d, ok := lp.(*sql.Distinct); ok {
+		s.Distinct = true
+		lp = d.In
+	}
+	proj, ok := lp.(*sql.Project)
+	if !ok {
+		return fmt.Errorf("plan: expected projection at plan root, got %T", lp)
+	}
+	lp = proj.In
+	limit := -1
+	if l, ok := lp.(*sql.Limit); ok {
+		limit = l.N
+		lp = l.In
+	}
+	var sortLP *sql.Sort
+	if srt, ok := lp.(*sql.Sort); ok {
+		sortLP = srt
+		lp = srt.In
+	}
+
+	c, err := p.compile(s, lp)
+	if err != nil {
+		return err
+	}
+	if sortLP != nil {
+		c, err = p.compileSort(s, c, sortLP, limit)
+		if err != nil {
+			return err
+		}
+	} else {
+		s.SinkLimit = limit
+	}
+
+	// reject self-joins: one query id cannot play two roles at one node
+	seen := map[*operators.Node]bool{}
+	for _, st := range c.steps {
+		if seen[st.node] {
+			return fmt.Errorf("plan: statement visits node %q twice (self-joins are not supported)", st.node.Name)
+		}
+		seen[st.node] = true
+	}
+
+	te := p.edge(c.node, p.sink)
+	s.steps = c.steps
+	s.pathEdges = dedupEdges(append(c.edges, te))
+	s.terminalStream = c.stream.id
+	s.Project = proj.Exprs
+	s.OutSchema = proj.Out
+	return nil
+}
+
+func dedupEdges(es []*operators.Edge) []*operators.Edge {
+	seen := map[*operators.Edge]bool{}
+	out := es[:0]
+	for _, e := range es {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// compile dispatches on the logical node type.
+func (p *GlobalPlan) compile(s *Statement, lp sql.LogicalPlan) (compiled, error) {
+	switch n := lp.(type) {
+	case *sql.Scan:
+		return p.compileScan(n)
+	case *sql.Filter:
+		return p.compileFilter(s, n)
+	case *sql.Join:
+		return p.compileJoin(s, n)
+	case *sql.Group:
+		return p.compileGroup(s, n)
+	default:
+		return compiled{}, fmt.Errorf("plan: unexpected logical node %T below the plan root", lp)
+	}
+}
+
+// matchEqOperand recognizes col = operand where operand is a constant or a
+// statement parameter (parameters are still unbound at compile time).
+func matchEqOperand(e expr.Expr) (col int, operand expr.Expr, ok bool) {
+	c, isCmp := e.(*expr.Cmp)
+	if !isCmp || c.Op != expr.EQ {
+		return 0, nil, false
+	}
+	if cr, o := c.L.(*expr.ColRef); o && isOperand(c.R) {
+		return cr.Idx, c.R, true
+	}
+	if cr, o := c.R.(*expr.ColRef); o && isOperand(c.L) {
+		return cr.Idx, c.L, true
+	}
+	return 0, nil, false
+}
+
+// matchRangeOperand recognizes col <op> operand for inequalities.
+func matchRangeOperand(e expr.Expr) (col int, op expr.CmpOp, operand expr.Expr, ok bool) {
+	c, isCmp := e.(*expr.Cmp)
+	if !isCmp {
+		return 0, 0, nil, false
+	}
+	switch c.Op {
+	case expr.LT, expr.LE, expr.GT, expr.GE:
+	default:
+		return 0, 0, nil, false
+	}
+	if cr, o := c.L.(*expr.ColRef); o && isOperand(c.R) {
+		return cr.Idx, c.Op, c.R, true
+	}
+	if cr, o := c.R.(*expr.ColRef); o && isOperand(c.L) {
+		return cr.Idx, c.Op.Flip(), c.L, true
+	}
+	return 0, 0, nil, false
+}
+
+func isOperand(e expr.Expr) bool {
+	switch e.(type) {
+	case *expr.Const, *expr.Param:
+		return true
+	}
+	return false
+}
+
+// compileScan chooses the access path for a base-table read: an index probe
+// when an index prefix is pinned by equality (or a leading-column range),
+// else the shared ClockScan.
+func (p *GlobalPlan) compileScan(scan *sql.Scan) (compiled, error) {
+	table := p.db.Table(scan.Table)
+	if table == nil {
+		return compiled{}, fmt.Errorf("plan: unknown table %q", scan.Table)
+	}
+	conjs := expr.Conjuncts(scan.Pred)
+	eqOperands := map[int]expr.Expr{}
+	eqConjunct := map[int]int{} // col → index into conjs
+	for i, c := range conjs {
+		if col, operand, ok := matchEqOperand(c); ok {
+			if _, dup := eqOperands[col]; !dup {
+				eqOperands[col] = operand
+				eqConjunct[col] = i
+			}
+		}
+	}
+
+	// longest equality-covered index prefix wins
+	var bestIx *storage.Index
+	bestLen := 0
+	for _, ix := range table.Indexes() {
+		n := 0
+		for _, c := range ix.Cols {
+			if _, ok := eqOperands[c]; ok {
+				n++
+			} else {
+				break
+			}
+		}
+		if n > bestLen || (n == bestLen && n > 0 && ix.Unique && !bestIx.Unique) {
+			bestIx, bestLen = ix, n
+		}
+	}
+
+	if bestLen > 0 {
+		used := map[int]bool{}
+		keyExprs := make([]expr.Expr, bestLen)
+		for i := 0; i < bestLen; i++ {
+			col := bestIx.Cols[i]
+			keyExprs[i] = eqOperands[col]
+			used[eqConjunct[col]] = true
+		}
+		var residual []expr.Expr
+		for i, c := range conjs {
+			if !used[i] {
+				residual = append(residual, c)
+			}
+		}
+		res := expr.AndOf(residual)
+		src := p.getProbe(table, bestIx)
+		step := stepBinding{node: src.node, makeSpec: func(params []types.Value) interface{} {
+			key := make(btree.Key, len(keyExprs))
+			for i, ke := range keyExprs {
+				key[i] = ke.Eval(nil, params)
+			}
+			return operators.ProbeSpec{Key: key, Residual: expr.Bind(res, params)}
+		}}
+		return compiled{node: src.node, stream: p.streams[src.stream], steps: []stepBinding{step}}, nil
+	}
+
+	// Range predicates deliberately do NOT use index range probes here:
+	// a per-query range probe re-traverses the index for every concurrent
+	// query, which defeats sharing. The shared ClockScan answers all range
+	// queries of a generation in one pass through its predicate interval
+	// index (§4.4) — bounded work regardless of concurrency. (The
+	// query-at-a-time baseline keeps range probes: optimal for one query.)
+
+	// shared ClockScan
+	src := p.getScan(table)
+	pred := scan.Pred
+	step := stepBinding{node: src.node, makeSpec: func(params []types.Value) interface{} {
+		return operators.ScanSpec{Pred: expr.Bind(pred, params)}
+	}}
+	return compiled{node: src.node, stream: p.streams[src.stream], steps: []stepBinding{step}}, nil
+}
+
+func tableOrigins(t *storage.Table) []origin {
+	out := make([]origin, t.Schema().Len())
+	for i := range out {
+		out[i] = origin{Table: t.Name(), Col: i}
+	}
+	return out
+}
+
+func (p *GlobalPlan) getScan(t *storage.Table) *sourceRef {
+	if ref, ok := p.scanNodes[t.Name()]; ok {
+		return ref
+	}
+	si := p.allocStream(t.Schema(), tableOrigins(t))
+	node := p.addNode("scan("+t.Name()+")", &operators.ScanOp{Table: t, OutStream: si.id})
+	ref := &sourceRef{node: node, stream: si.id}
+	p.scanNodes[t.Name()] = ref
+	return ref
+}
+
+func (p *GlobalPlan) getProbe(t *storage.Table, ix *storage.Index) *sourceRef {
+	key := t.Name() + "/" + ix.Name
+	if ref, ok := p.probeNodes[key]; ok {
+		return ref
+	}
+	si := p.allocStream(t.Schema(), tableOrigins(t))
+	node := p.addNode("probe("+key+")", &operators.ProbeOp{Table: t, Index: ix, OutStream: si.id})
+	ref := &sourceRef{node: node, stream: si.id}
+	p.probeNodes[key] = ref
+	return ref
+}
+
+// compileFilter routes the subtree through the shared filter node attached
+// to its producer.
+func (p *GlobalPlan) compileFilter(s *Statement, f *sql.Filter) (compiled, error) {
+	c, err := p.compile(s, f.In)
+	if err != nil {
+		return compiled{}, err
+	}
+	fnode, ok := p.filterFor[c.node.ID]
+	if !ok {
+		fnode = p.addNode("filter<"+c.node.Name+">", &operators.FilterOp{})
+		p.filterFor[c.node.ID] = fnode
+	}
+	e := p.edge(c.node, fnode)
+	pred := f.Pred
+	step := stepBinding{node: fnode, makeSpec: func(params []types.Value) interface{} {
+		return operators.FilterSpec{Pred: expr.Bind(pred, params)}
+	}}
+	return compiled{
+		node:   fnode,
+		stream: c.stream, // filters pass streams through
+		steps:  append(c.steps, step),
+		edges:  append(c.edges, e),
+	}, nil
+}
+
+// compileJoin compiles an equi-join: an index nested-loop join when the
+// right side is a base table with a matching index (the inner table is then
+// probed directly and its per-query predicate becomes a residual), else a
+// shared hash join whose build side is the compiled right subtree.
+func (p *GlobalPlan) compileJoin(s *Statement, j *sql.Join) (compiled, error) {
+	left, err := p.compile(s, j.Left)
+	if err != nil {
+		return compiled{}, err
+	}
+	if len(j.LeftKeys) == 0 {
+		return compiled{}, fmt.Errorf("plan: cross joins are not supported in the shared plan")
+	}
+
+	// Join method selection (mirrors the paper's Figure 6 mix of NL⋈ and
+	// Hash⋈): an index nested-loop join only when the inner is a base table
+	// reached purely by key — if the inner scan carries a per-query
+	// predicate, the shared hash join wins, because the inner ClockScan's
+	// predicate index evaluates that predicate once per row for all
+	// queries, whereas an index join would re-evaluate it per (row, query).
+	if rscan, ok := j.Right.(*sql.Scan); ok && rscan.Pred == nil {
+		table := p.db.Table(rscan.Table)
+		if ix := indexMatching(table, j.RightKeys); ix != nil {
+			return p.compileIndexJoin(s, left, j, rscan, table, ix)
+		}
+	}
+
+	right, err := p.compile(s, j.Right)
+	if err != nil {
+		return compiled{}, err
+	}
+	sig := fmt.Sprintf("hash|%d|%d|%v", right.node.ID, right.stream.id, j.RightKeys)
+	var ref *joinRef
+	for _, cand := range p.joinNodes[sig] {
+		if keys, ok := cand.outerKeys[left.stream.id]; !ok || intsEqual(keys, j.LeftKeys) {
+			ref = cand
+			break
+		}
+	}
+	if ref == nil {
+		op := &operators.HashJoinOp{
+			InnerKeyCols: j.RightKeys,
+			InnerStream:  right.stream.id,
+			Outers:       map[int]operators.JoinOuter{},
+		}
+		node := p.addNode(fmt.Sprintf("⋈hash(%s)", right.node.Name), op)
+		ie := p.edge(right.node, node)
+		op.SetInnerEdge(ie)
+		ref = &joinRef{node: node, op: op, innerStream: right.stream.id, outerKeys: map[int][]int{}}
+		p.joinNodes[sig] = append(p.joinNodes[sig], ref)
+	}
+	outCfg, ok := ref.op.Outers[left.stream.id]
+	if !ok {
+		osi := p.allocStream(left.stream.schema.Concat(right.stream.schema),
+			append(append([]origin{}, left.stream.origins...), right.stream.origins...))
+		outCfg = operators.JoinOuter{KeyCols: j.LeftKeys, OutStream: osi.id}
+		ref.op.Outers[left.stream.id] = outCfg
+		ref.outerKeys[left.stream.id] = j.LeftKeys
+	}
+	ie := p.edge(right.node, ref.node)
+	oe := p.edge(left.node, ref.node)
+	step := stepBinding{node: ref.node, makeSpec: func([]types.Value) interface{} {
+		return operators.JoinSpec{}
+	}}
+	return compiled{
+		node:   ref.node,
+		stream: p.streams[outCfg.OutStream],
+		steps:  append(append(left.steps, right.steps...), step),
+		edges:  append(append(left.edges, right.edges...), ie, oe),
+	}, nil
+}
+
+// indexMatching returns an index of t whose leading columns are exactly the
+// given key columns (in any order up to position len(keys)), or nil.
+func indexMatching(t *storage.Table, keys []int) *storage.Index {
+	if t == nil {
+		return nil
+	}
+	for _, ix := range t.Indexes() {
+		if len(ix.Cols) < len(keys) {
+			continue
+		}
+		// keys must cover exactly the index's first len(keys) columns
+		covered := true
+		for i := 0; i < len(keys); i++ {
+			if ix.Cols[i] != keys[i] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return ix
+		}
+	}
+	return nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *GlobalPlan) compileIndexJoin(s *Statement, left compiled, j *sql.Join, rscan *sql.Scan, table *storage.Table, ix *storage.Index) (compiled, error) {
+	sig := "ix|" + table.Name() + "/" + ix.Name
+	var ref *ixJoinRef
+	for _, cand := range p.ixJoins[sig] {
+		if keys, exists := cand.outerKeys[left.stream.id]; !exists || intsEqual(keys, j.LeftKeys) {
+			ref = cand
+			break
+		}
+	}
+	if ref == nil {
+		op := &operators.IndexJoinOp{Table: table, Index: ix, Outers: map[int]operators.JoinOuter{}}
+		node := p.addNode("⋈ix("+table.Name()+")", op)
+		ref = &ixJoinRef{node: node, op: op, outerKeys: map[int][]int{}}
+		p.ixJoins[sig] = append(p.ixJoins[sig], ref)
+	}
+	outCfg, exists := ref.op.Outers[left.stream.id]
+	if !exists {
+		osi := p.allocStream(left.stream.schema.Concat(rscan.Out),
+			append(append([]origin{}, left.stream.origins...), tableOrigins(table)...))
+		outCfg = operators.JoinOuter{KeyCols: j.LeftKeys, OutStream: osi.id}
+		ref.op.Outers[left.stream.id] = outCfg
+		ref.outerKeys[left.stream.id] = j.LeftKeys
+	}
+	oe := p.edge(left.node, ref.node)
+	innerPred := rscan.Pred
+	step := stepBinding{node: ref.node, makeSpec: func(params []types.Value) interface{} {
+		return operators.IndexJoinSpec{InnerResidual: expr.Bind(innerPred, params)}
+	}}
+	return compiled{
+		node:   ref.node,
+		stream: p.streams[outCfg.OutStream],
+		steps:  append(left.steps, step),
+		edges:  append(left.edges, oe),
+	}, nil
+}
+
+// compileGroup merges group-bys whose group keys and aggregates have the
+// same provenance signature.
+func (p *GlobalPlan) compileGroup(s *Statement, g *sql.Group) (compiled, error) {
+	c, err := p.compile(s, g.In)
+	if err != nil {
+		return compiled{}, err
+	}
+	var sigParts []string
+	for _, col := range g.GroupCols {
+		sigParts = append(sigParts, c.stream.origins[col].String())
+	}
+	aggs := make([]operators.AggDef, len(g.Aggs))
+	aggArgs := make([]expr.Expr, len(g.Aggs))
+	for i, a := range g.Aggs {
+		aggs[i] = operators.AggDef{Kind: operators.AggKind(a.Func), Distinct: a.Distinct}
+		aggArgs[i] = a.Arg
+		sigParts = append(sigParts, fmt.Sprintf("%s|%v|%s", a.Func, a.Distinct,
+			originString(a.Arg, c.stream.origins, s.ID)))
+	}
+	sig := fmt.Sprintf("group|%s", strings.Join(sigParts, ","))
+
+	ref, ok := p.groupNodes[sig]
+	if !ok {
+		origins := make([]origin, g.Out.Len())
+		for i, col := range g.GroupCols {
+			origins[i] = c.stream.origins[col]
+		}
+		for i, a := range g.Aggs {
+			origins[len(g.GroupCols)+i] = origin{Synth: a.Name}
+		}
+		osi := p.allocStream(g.Out, origins)
+		op := &operators.GroupOp{
+			Streams:   map[int]operators.GroupStream{},
+			Aggs:      aggs,
+			OutStream: osi.id,
+		}
+		node := p.addNode("Γ("+strings.Join(sigParts, ",")+")", op)
+		ref = &groupRef{node: node, op: op, outStream: osi.id}
+		p.groupNodes[sig] = ref
+	}
+	if _, exists := ref.op.Streams[c.stream.id]; !exists {
+		ref.op.Streams[c.stream.id] = operators.GroupStream{GroupCols: g.GroupCols, AggArgs: aggArgs}
+	}
+	e := p.edge(c.node, ref.node)
+	having := g.Having
+	scalar := len(g.GroupCols) == 0
+	step := stepBinding{node: ref.node, makeSpec: func(params []types.Value) interface{} {
+		return operators.GroupSpec{Having: expr.Bind(having, params), Scalar: scalar}
+	}}
+	return compiled{
+		node:   ref.node,
+		stream: p.streams[ref.outStream],
+		steps:  append(c.steps, step),
+		edges:  append(c.edges, e),
+	}, nil
+}
+
+// compileSort merges sorts (and Top-Ns, which are sorts with per-query
+// limits) whose keys have the same provenance signature.
+func (p *GlobalPlan) compileSort(s *Statement, c compiled, srt *sql.Sort, limit int) (compiled, error) {
+	var sigParts []string
+	keys := make([]operators.SortKey, len(srt.Keys))
+	for i, k := range srt.Keys {
+		keys[i] = operators.SortKey{E: k.Expr, Desc: k.Desc}
+		sigParts = append(sigParts, fmt.Sprintf("%s|%v", originString(k.Expr, c.stream.origins, s.ID), k.Desc))
+	}
+	sig := "sort|" + strings.Join(sigParts, ",")
+	ref, ok := p.sortNodes[sig]
+	if !ok {
+		op := &operators.SortOp{Streams: map[int]operators.SortStream{}}
+		node := p.addNode("sort("+strings.Join(sigParts, ",")+")", op)
+		ref = &sortRef{node: node, op: op}
+		p.sortNodes[sig] = ref
+	}
+	if _, exists := ref.op.Streams[c.stream.id]; !exists {
+		ref.op.Streams[c.stream.id] = operators.SortStream{Keys: keys, OutStream: c.stream.id}
+	}
+	e := p.edge(c.node, ref.node)
+	lim := limit
+	step := stepBinding{node: ref.node, makeSpec: func([]types.Value) interface{} {
+		return operators.SortSpec{Limit: lim}
+	}}
+	return compiled{
+		node:   ref.node,
+		stream: c.stream,
+		steps:  append(c.steps, step),
+		edges:  append(c.edges, e),
+	}, nil
+}
+
+// originString renders a bound expression with column references replaced
+// by their provenance, for sharing signatures. Expressions containing
+// parameters are never shareable across statements: the statement id is
+// mixed into their signature.
+func originString(e expr.Expr, origins []origin, stmtID int) string {
+	if e == nil {
+		return ""
+	}
+	var hasParam bool
+	var render func(e expr.Expr) string
+	render = func(e expr.Expr) string {
+		switch x := e.(type) {
+		case *expr.ColRef:
+			if x.Idx < len(origins) {
+				return origins[x.Idx].String()
+			}
+			return fmt.Sprintf("$%d", x.Idx)
+		case *expr.Const:
+			return x.Val.String()
+		case *expr.Param:
+			hasParam = true
+			return fmt.Sprintf("?%d", x.Idx)
+		case *expr.Cmp:
+			return "(" + render(x.L) + x.Op.String() + render(x.R) + ")"
+		case *expr.Arith:
+			return "(" + render(x.L) + x.Op.String() + render(x.R) + ")"
+		case *expr.And:
+			parts := make([]string, len(x.Kids))
+			for i, k := range x.Kids {
+				parts[i] = render(k)
+			}
+			return "(" + strings.Join(parts, " AND ") + ")"
+		case *expr.Or:
+			parts := make([]string, len(x.Kids))
+			for i, k := range x.Kids {
+				parts[i] = render(k)
+			}
+			return "(" + strings.Join(parts, " OR ") + ")"
+		case *expr.Not:
+			return "NOT " + render(x.Kid)
+		default:
+			return fmt.Sprintf("%T", e)
+		}
+	}
+	out := render(e)
+	if hasParam {
+		out += fmt.Sprintf("@stmt%d", stmtID)
+	}
+	return out
+}

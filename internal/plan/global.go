@@ -1,0 +1,242 @@
+// Package plan implements SharedDB's global query plan (paper §3.2, §3.3):
+// the whole workload is compiled into a single always-on dataflow of shared
+// operators. Compilation is the paper's two-step optimization (Figure 3):
+// each statement arrives as an individually optimized logical plan
+// (internal/sql, predicates pushed down), and this package merges those
+// plans, sharing operators whose signatures match — the same join, sort or
+// group-by node serves every statement (and every concurrent activation)
+// that needs it.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/operators"
+	"shareddb/internal/sql"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// origin identifies the provenance of a stream column: either a base table
+// column or a synthesized column (aggregate output). Origins make sharing
+// signatures independent of query aliases and column positions, so the sort
+// on Items.price is shared between a query sorting bare Items tuples and a
+// query sorting Orders⋈Items tuples (Figure 2).
+type origin struct {
+	Table string // base table name; "" for synthesized columns
+	Col   int    // column index in the base table
+	Synth string // synthesized name (aggregate signature)
+}
+
+func (o origin) String() string {
+	if o.Synth != "" {
+		return "<" + o.Synth + ">"
+	}
+	return fmt.Sprintf("%s.%d", o.Table, o.Col)
+}
+
+// streamInfo describes one stream (homogeneous tuple flow) in the global
+// plan.
+type streamInfo struct {
+	id      int
+	schema  *types.Schema
+	origins []origin
+}
+
+// GlobalPlan is the always-on operator DAG plus the registered statements.
+type GlobalPlan struct {
+	mu sync.Mutex
+
+	db         *storage.Database
+	nodes      []*operators.Node
+	nextNodeID int
+	nextStream int
+	started    bool
+
+	streams map[int]*streamInfo
+
+	scanNodes  map[string]*sourceRef // table name → scan node
+	probeNodes map[string]*sourceRef // table/index → probe node
+	joinNodes  map[string][]*joinRef
+	ixJoins    map[string][]*ixJoinRef
+	sortNodes  map[string]*sortRef
+	groupNodes map[string]*groupRef
+	filterFor  map[int]*operators.Node // producer node id → shared filter
+
+	edges map[[2]int]*operators.Edge // (fromID, toID) → edge
+
+	sink   *operators.Node
+	SinkOp *operators.SinkOp
+
+	stmts []*Statement
+}
+
+type sourceRef struct {
+	node   *operators.Node
+	stream int
+}
+
+type joinRef struct {
+	node        *operators.Node
+	op          *operators.HashJoinOp
+	innerStream int
+	outerKeys   map[int][]int // outer stream → key cols (conflict detection)
+}
+
+type ixJoinRef struct {
+	node      *operators.Node
+	op        *operators.IndexJoinOp
+	outerKeys map[int][]int
+}
+
+type sortRef struct {
+	node *operators.Node
+	op   *operators.SortOp
+}
+
+type groupRef struct {
+	node      *operators.Node
+	op        *operators.GroupOp
+	outStream int
+}
+
+// New creates an empty global plan over the given storage.
+func New(db *storage.Database) *GlobalPlan {
+	p := &GlobalPlan{
+		db:         db,
+		streams:    map[int]*streamInfo{},
+		scanNodes:  map[string]*sourceRef{},
+		probeNodes: map[string]*sourceRef{},
+		joinNodes:  map[string][]*joinRef{},
+		ixJoins:    map[string][]*ixJoinRef{},
+		sortNodes:  map[string]*sortRef{},
+		groupNodes: map[string]*groupRef{},
+		filterFor:  map[int]*operators.Node{},
+		edges:      map[[2]int]*operators.Edge{},
+		nextStream: 1,
+	}
+	p.SinkOp = &operators.SinkOp{}
+	p.sink = operators.NewNode(p.allocNodeID(), "output", p.SinkOp)
+	return p
+}
+
+func (p *GlobalPlan) allocNodeID() int {
+	id := p.nextNodeID
+	p.nextNodeID++
+	return id
+}
+
+func (p *GlobalPlan) allocStream(schema *types.Schema, origins []origin) *streamInfo {
+	si := &streamInfo{id: p.nextStream, schema: schema, origins: origins}
+	p.nextStream++
+	p.streams[si.id] = si
+	return si
+}
+
+func (p *GlobalPlan) addNode(name string, op operators.Operator) *operators.Node {
+	n := operators.NewNode(p.allocNodeID(), name, op)
+	p.nodes = append(p.nodes, n)
+	if p.started {
+		n.Start()
+	}
+	return n
+}
+
+// edge returns the (single) edge between two nodes, wiring it on first use.
+func (p *GlobalPlan) edge(from, to *operators.Node) *operators.Edge {
+	key := [2]int{from.ID, to.ID}
+	if e, ok := p.edges[key]; ok {
+		return e
+	}
+	e := operators.Connect(from, to)
+	p.edges[key] = e
+	return e
+}
+
+// Start launches every operator goroutine (idempotent).
+func (p *GlobalPlan) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	for _, n := range p.nodes {
+		n.Start()
+	}
+	p.sink.Start()
+}
+
+// Stop terminates all operator goroutines.
+func (p *GlobalPlan) Stop() {
+	p.mu.Lock()
+	nodes := append([]*operators.Node{}, p.nodes...)
+	sink := p.sink
+	p.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+	sink.Stop()
+}
+
+// NumNodes returns the number of operator nodes (excluding the sink).
+func (p *GlobalPlan) NumNodes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.nodes)
+}
+
+// Statements returns the registered statements.
+func (p *GlobalPlan) Statements() []*Statement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Statement{}, p.stmts...)
+}
+
+// Describe renders the DAG for debugging and the server's EXPLAIN.
+func (p *GlobalPlan) Describe() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	for _, n := range p.nodes {
+		fmt.Fprintf(&b, "node %d: %s →", n.ID, n.Name)
+		for _, e := range n.Consumers {
+			fmt.Fprintf(&b, " %s", e.To.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Statement is a registered (prepared) statement: either a read program
+// over the shared DAG or a write plan executed by the storage layer.
+type Statement struct {
+	ID        int
+	SQL       string
+	NumParams int
+
+	// read side
+	steps          []stepBinding
+	pathEdges      []*operators.Edge
+	terminalStream int
+	Project        []expr.Expr // over the terminal stream schema
+	OutSchema      *types.Schema
+	Distinct       bool
+	SinkLimit      int // -1 none; applied at result assembly
+
+	// write side
+	Write *sql.WritePlan
+}
+
+// IsWrite reports whether the statement mutates data.
+func (s *Statement) IsWrite() bool { return s.Write != nil }
+
+// stepBinding is one node along a statement's path with its per-activation
+// task factory.
+type stepBinding struct {
+	node     *operators.Node
+	makeSpec func(params []types.Value) interface{}
+}

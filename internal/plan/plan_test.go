@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+func testDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, _ := db.CreateTable("users", types.NewSchema(
+		types.Column{Qualifier: "users", Name: "user_id", Kind: types.KindInt},
+		types.Column{Qualifier: "users", Name: "name", Kind: types.KindString},
+		types.Column{Qualifier: "users", Name: "country", Kind: types.KindString},
+	))
+	users.SetPrimaryKey("user_id")
+	orders, _ := db.CreateTable("orders", types.NewSchema(
+		types.Column{Qualifier: "orders", Name: "o_id", Kind: types.KindInt},
+		types.Column{Qualifier: "orders", Name: "o_user_id", Kind: types.KindInt},
+		types.Column{Qualifier: "orders", Name: "o_total", Kind: types.KindFloat},
+	))
+	orders.SetPrimaryKey("o_id")
+	orders.AddIndex("orders_user", false, "o_user_id")
+	return db
+}
+
+func TestPrepareReadStatement(t *testing.T) {
+	p := New(testDB(t))
+	s, err := p.Prepare("SELECT name FROM users WHERE user_id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsWrite() || s.NumParams != 1 || len(s.Project) != 1 {
+		t.Errorf("statement = %+v", s)
+	}
+	if s.OutSchema.Cols[0].Name != "name" {
+		t.Errorf("out schema = %v", s.OutSchema)
+	}
+	if len(p.Statements()) != 1 {
+		t.Error("statement not registered")
+	}
+}
+
+func TestPrepareWriteStatement(t *testing.T) {
+	p := New(testDB(t))
+	s, err := p.Prepare("UPDATE users SET name = ? WHERE user_id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsWrite() || s.Write == nil {
+		t.Error("write plan missing")
+	}
+}
+
+func TestIdenticalStatementsShareEverything(t *testing.T) {
+	p := New(testDB(t))
+	if _, err := p.Prepare("SELECT name FROM users, orders WHERE user_id = o_user_id AND country = ?"); err != nil {
+		t.Fatal(err)
+	}
+	n1 := p.NumNodes()
+	if _, err := p.Prepare("SELECT name FROM users, orders WHERE user_id = o_user_id AND country = ?"); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != n1 {
+		t.Errorf("identical statement added nodes: %d → %d\n%s", n1, p.NumNodes(), p.Describe())
+	}
+}
+
+func TestAccessPathSelection(t *testing.T) {
+	p := New(testDB(t))
+	// pk equality → probe node
+	if _, err := p.Prepare("SELECT name FROM users WHERE user_id = ?"); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Describe()
+	if !strings.Contains(d, "probe(users/pk_users)") {
+		t.Errorf("expected pk probe, plan:\n%s", d)
+	}
+	// range predicate → shared scan (ranges share via the predicate index)
+	if _, err := p.Prepare("SELECT o_id FROM orders WHERE o_total > ?"); err != nil {
+		t.Fatal(err)
+	}
+	d = p.Describe()
+	if !strings.Contains(d, "scan(orders)") {
+		t.Errorf("expected shared scan for range, plan:\n%s", d)
+	}
+}
+
+func TestJoinMethodSelection(t *testing.T) {
+	p := New(testDB(t))
+	// inner side (orders) reached purely by key with an index → index join
+	if _, err := p.Prepare(`SELECT name, o_total FROM users, orders
+		WHERE user_id = o_user_id AND user_id = ?`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Describe(), "⋈ix(orders)") {
+		t.Errorf("expected index join, plan:\n%s", p.Describe())
+	}
+	// inner side with a per-query predicate → shared hash join
+	if _, err := p.Prepare(`SELECT o_id FROM orders, users
+		WHERE o_user_id = user_id AND country = ?`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Describe(), "⋈hash") {
+		t.Errorf("expected hash join, plan:\n%s", p.Describe())
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	p := New(testDB(t))
+	for _, bad := range []string{
+		"SELECT * FROM missing",
+		"SELECT * FROM users, orders", // cross join unsupported in shared plan
+		"CREATE TABLE x (a INT)",      // DDL is not preparable
+		"garbage",
+	} {
+		if _, err := p.Prepare(bad); err == nil {
+			t.Errorf("Prepare(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	p := New(testDB(t))
+	if _, err := p.Prepare("SELECT name FROM users WHERE user_id = ?"); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Start() // idempotent
+	p.Stop()
+}
+
+func TestLateNodeStartsWhenPlanRunning(t *testing.T) {
+	p := New(testDB(t))
+	p.Start()
+	defer p.Stop()
+	// preparing after Start must start the new nodes' goroutines
+	if _, err := p.Prepare("SELECT o_id FROM orders WHERE o_id = ?"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	o := origin{Table: "users", Col: 2}
+	if o.String() != "users.2" {
+		t.Errorf("origin = %s", o)
+	}
+	syn := origin{Synth: "SUM(x)"}
+	if syn.String() != "<SUM(x)>" {
+		t.Errorf("synth origin = %s", syn)
+	}
+}

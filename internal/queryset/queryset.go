@@ -1,0 +1,246 @@
+// Package queryset implements the set-valued query_id attribute of
+// SharedDB's data-query model (paper §3.1, Figure 1).
+//
+// Every intermediate tuple in a SharedDB plan carries the set of identifiers
+// of queries potentially interested in it, so an operator touches each tuple
+// once regardless of how many concurrent queries subscribed to it (the NF2
+// representation on the right of Figure 1). The paper evaluated bitmap and
+// list representations and chose sorted lists; Set is that list
+// implementation. A bitmap variant lives in bitmap.go for the ablation
+// benchmark (DESIGN.md A1).
+package queryset
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// QueryID identifies one active query within a batch generation.
+type QueryID = uint32
+
+// Set is an immutable sorted list of query identifiers. The zero value is
+// the empty set. Sets are value types; operations return new sets and never
+// mutate their receivers, so sets can be shared across tuples and operators
+// without copying.
+type Set struct {
+	ids []QueryID // sorted ascending, no duplicates
+}
+
+// Of builds a set from the given ids (deduplicated, any order). Already
+// sorted duplicate-free input — the common case when sets are assembled by
+// in-order scans — takes a copy-only fast path.
+func Of(ids ...QueryID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			sorted = false
+			break
+		}
+	}
+	s := make([]QueryID, len(ids))
+	copy(s, ids)
+	if sorted {
+		return Set{ids: s}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, id := range s[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}
+}
+
+// FromSorted adopts a sorted, duplicate-free slice without copying.
+// The caller must not modify the slice afterwards.
+func FromSorted(ids []QueryID) Set { return Set{ids: ids} }
+
+// Single returns the singleton set {id}.
+func Single(id QueryID) Set { return Set{ids: []QueryID{id}} }
+
+// Len returns the cardinality of the set.
+func (s Set) Len() int { return len(s.ids) }
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool { return len(s.ids) == 0 }
+
+// Contains reports whether id is a member.
+func (s Set) Contains(id QueryID) bool {
+	// Sets are typically tiny (a handful of subscribed queries);
+	// linear scan beats binary search until ~16 entries.
+	if len(s.ids) <= 16 {
+		for _, x := range s.ids {
+			if x == id {
+				return true
+			}
+			if x > id {
+				return false
+			}
+		}
+		return false
+	}
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// IDs returns the members in ascending order. The returned slice is shared;
+// callers must not modify it.
+func (s Set) IDs() []QueryID { return s.ids }
+
+// Add returns s ∪ {id}.
+func (s Set) Add(id QueryID) Set {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	if i < len(s.ids) && s.ids[i] == id {
+		return s
+	}
+	out := make([]QueryID, 0, len(s.ids)+1)
+	out = append(out, s.ids[:i]...)
+	out = append(out, id)
+	out = append(out, s.ids[i:]...)
+	return Set{ids: out}
+}
+
+// Union returns s ∪ o using a linear merge.
+func (s Set) Union(o Set) Set {
+	if s.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return s
+	}
+	out := make([]QueryID, 0, len(s.ids)+len(o.ids))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		a, b := s.ids[i], o.ids[j]
+		switch {
+		case a < b:
+			out = append(out, a)
+			i++
+		case a > b:
+			out = append(out, b)
+			j++
+		default:
+			out = append(out, a)
+			i++
+			j++
+		}
+	}
+	out = append(out, s.ids[i:]...)
+	out = append(out, o.ids[j:]...)
+	return Set{ids: out}
+}
+
+// Intersect returns s ∩ o using a linear merge. This is the hot operation:
+// it implements the amended join predicate R.query_id ∩ S.query_id ≠ ∅ of
+// the shared join (paper Figure 3).
+func (s Set) Intersect(o Set) Set {
+	if s.Empty() || o.Empty() {
+		return Set{}
+	}
+	// Fast path: disjoint ranges.
+	if s.ids[len(s.ids)-1] < o.ids[0] || o.ids[len(o.ids)-1] < s.ids[0] {
+		return Set{}
+	}
+	var out []QueryID
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		a, b := s.ids[i], o.ids[j]
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			out = append(out, a)
+			i++
+			j++
+		}
+	}
+	return Set{ids: out}
+}
+
+// Intersects reports whether s ∩ o is non-empty without materializing it.
+func (s Set) Intersects(o Set) bool {
+	if s.Empty() || o.Empty() {
+		return false
+	}
+	if s.ids[len(s.ids)-1] < o.ids[0] || o.ids[len(o.ids)-1] < s.ids[0] {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		a, b := s.ids[i], o.ids[j]
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Minus returns s \ o.
+func (s Set) Minus(o Set) Set {
+	if s.Empty() || o.Empty() {
+		return s
+	}
+	var out []QueryID
+	j := 0
+	for _, a := range s.ids {
+		for j < len(o.ids) && o.ids[j] < a {
+			j++
+		}
+		if j < len(o.ids) && o.ids[j] == a {
+			continue
+		}
+		out = append(out, a)
+	}
+	return Set{ids: out}
+}
+
+// Retain returns the subset of s whose members satisfy keep. Used by output
+// routing to restrict a tuple's set to the queries owned by one consumer.
+func (s Set) Retain(keep func(QueryID) bool) Set {
+	var out []QueryID
+	for _, id := range s.ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}
+}
+
+// Equal reports set equality.
+func (s Set) Equal(o Set) bool {
+	if len(s.ids) != len(o.ids) {
+		return false
+	}
+	for i := range s.ids {
+		if s.ids[i] != o.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as "{1, 2, 3}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.ids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatUint(uint64(id), 10))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

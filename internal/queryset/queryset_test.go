@@ -1,0 +1,212 @@
+package queryset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfDeduplicatesAndSorts(t *testing.T) {
+	s := Of(3, 1, 2, 3, 1)
+	want := []QueryID{1, 2, 3}
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{1, 2, 3}" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 || s.Contains(1) {
+		t.Error("zero Set should be empty")
+	}
+	if !s.Union(Of(1)).Equal(Of(1)) {
+		t.Error("∅ ∪ {1} != {1}")
+	}
+	if !s.Intersect(Of(1)).Empty() {
+		t.Error("∅ ∩ {1} != ∅")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Of(2, 4, 6, 8)
+	for _, id := range []QueryID{2, 4, 6, 8} {
+		if !s.Contains(id) {
+			t.Errorf("should contain %d", id)
+		}
+	}
+	for _, id := range []QueryID{0, 1, 3, 5, 7, 9} {
+		if s.Contains(id) {
+			t.Errorf("should not contain %d", id)
+		}
+	}
+	// exercise the binary-search path (>16 elements)
+	big := make([]QueryID, 50)
+	for i := range big {
+		big[i] = QueryID(i * 2)
+	}
+	bs := FromSorted(big)
+	if !bs.Contains(48) || bs.Contains(49) {
+		t.Error("binary search path wrong")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	s := Of(1, 3)
+	s2 := s.Add(2)
+	if !s2.Equal(Of(1, 2, 3)) {
+		t.Errorf("Add(2) = %v", s2)
+	}
+	if !s.Equal(Of(1, 3)) {
+		t.Error("Add mutated the receiver")
+	}
+	if got := s.Add(3); !got.Equal(s) {
+		t.Error("adding existing member should be identity")
+	}
+}
+
+func TestUnionIntersectMinus(t *testing.T) {
+	a, b := Of(1, 2, 3, 5), Of(2, 4, 5, 6)
+	if got := a.Union(b); !got.Equal(Of(1, 2, 3, 4, 5, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(Of(2, 5)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(Of(1, 3)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects should be true")
+	}
+	if Of(1, 2).Intersects(Of(3, 4)) {
+		t.Error("disjoint sets should not intersect")
+	}
+	// disjoint-range fast path
+	if Of(1, 2).Intersects(Of(100, 200)) {
+		t.Error("range fast path broken")
+	}
+}
+
+func TestRetain(t *testing.T) {
+	s := Of(1, 2, 3, 4, 5)
+	even := s.Retain(func(id QueryID) bool { return id%2 == 0 })
+	if !even.Equal(Of(2, 4)) {
+		t.Errorf("Retain = %v", even)
+	}
+}
+
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(20)
+	ids := make([]QueryID, n)
+	for i := range ids {
+		ids[i] = QueryID(r.Intn(64))
+	}
+	return Of(ids...)
+}
+
+// Property: set algebra laws hold for the list implementation.
+func TestSetAlgebraProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, b, c := randSet(r), randSet(r), randSet(r)
+		if !a.Union(b).Equal(b.Union(a)) {
+			t.Fatalf("union not commutative: %v %v", a, b)
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			t.Fatalf("intersect not commutative: %v %v", a, b)
+		}
+		if !a.Union(a).Equal(a) || !a.Intersect(a).Equal(a) {
+			t.Fatalf("not idempotent: %v", a)
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			t.Fatalf("union not associative")
+		}
+		// distributivity: a ∩ (b ∪ c) == (a∩b) ∪ (a∩c)
+		if !a.Intersect(b.Union(c)).Equal(a.Intersect(b).Union(a.Intersect(c))) {
+			t.Fatalf("not distributive")
+		}
+		if a.Intersects(b) != !a.Intersect(b).Empty() {
+			t.Fatalf("Intersects inconsistent with Intersect")
+		}
+		// minus: (a \ b) ∩ b == ∅ and (a\b) ∪ (a∩b) == a
+		if !a.Minus(b).Intersect(b).Empty() {
+			t.Fatalf("minus leaves members of b")
+		}
+		if !a.Minus(b).Union(a.Intersect(b)).Equal(a) {
+			t.Fatalf("minus/intersect don't partition")
+		}
+	}
+}
+
+// Property: the list and bitmap representations agree.
+func TestListBitmapEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		a, b := randSet(r), randSet(r)
+		ba, bb := BitmapOf(64, a.IDs()...), BitmapOf(64, b.IDs()...)
+		if !ba.Union(bb).ToSet().Equal(a.Union(b)) {
+			t.Fatalf("bitmap union disagrees: %v %v", a, b)
+		}
+		if !ba.Intersect(bb).ToSet().Equal(a.Intersect(b)) {
+			t.Fatalf("bitmap intersect disagrees: %v %v", a, b)
+		}
+		if ba.Intersects(bb) != a.Intersects(b) {
+			t.Fatalf("bitmap Intersects disagrees")
+		}
+		if ba.Len() != a.Len() || ba.Empty() != a.Empty() {
+			t.Fatalf("bitmap len/empty disagrees")
+		}
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(10)
+	if !b.Empty() {
+		t.Error("new bitmap should be empty")
+	}
+	b.Set(3)
+	b.Set(200) // beyond initial universe: must grow
+	if !b.Contains(3) || !b.Contains(200) || b.Contains(4) {
+		t.Error("membership wrong")
+	}
+	ids := b.IDs()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 200 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestFromSortedAdoptsSlice(t *testing.T) {
+	ids := []QueryID{1, 5, 9}
+	s := FromSorted(ids)
+	if s.Len() != 3 || !s.Contains(5) {
+		t.Error("FromSorted wrong")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	s := Single(7)
+	if s.Len() != 1 || !s.Contains(7) {
+		t.Error("Single wrong")
+	}
+}
+
+func TestQuickUnionSorted(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		a, b := Of(xs...), Of(ys...)
+		u := a.Union(b).IDs()
+		return sort.SliceIsSorted(u, func(i, j int) bool { return u[i] < u[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package sql
+
+import (
+	"shareddb/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Node // may be nil
+	GroupBy  []Node
+	Having   Node
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+}
+
+// InsertStmt is INSERT INTO t (cols) VALUES (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty = schema order
+	Values  []Node
+}
+
+// UpdateStmt is UPDATE t SET col = expr, ... WHERE ...
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Node
+}
+
+// DeleteStmt is DELETE FROM t WHERE ...
+type DeleteStmt struct {
+	Table string
+	Where Node
+}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE, ..., PRIMARY KEY(cols)).
+type CreateTableStmt struct {
+	Table   string
+	Columns []ColumnDef
+	Primary []string
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON t (cols).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+
+// ColumnDef defines one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// SetClause is one assignment in UPDATE ... SET.
+type SetClause struct {
+	Column string
+	Value  Node
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Star      bool   // SELECT * or t.*
+	StarTable string // qualifier for t.*
+	Expr      Node
+	Alias     string
+}
+
+// TableRef names a table in FROM, optionally aliased, optionally the right
+// side of an explicit JOIN with an ON condition.
+type TableRef struct {
+	Table  string
+	Alias  string
+	JoinOn Node // non-nil for explicit "JOIN t ON cond" (merged into WHERE)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is an unbound AST expression (names, not column indices).
+type Node interface{ node() }
+
+// Ident is a possibly qualified column reference ("c" or "t.c").
+type Ident struct{ Name string }
+
+// Lit is a literal value.
+type Lit struct{ Val types.Value }
+
+// ParamRef is the i-th positional '?' parameter.
+type ParamRef struct{ Idx int }
+
+// BinOp is a binary operation; Op is one of = <> < <= > >= + - * / % AND OR.
+type BinOp struct {
+	Op   string
+	L, R Node
+}
+
+// UnOp is a unary operation; Op is one of NOT or - (negation).
+type UnOp struct {
+	Op  string
+	Kid Node
+}
+
+// FuncCall is an aggregate call (COUNT/SUM/MIN/MAX/AVG).
+type FuncCall struct {
+	Name     string // upper-case
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Arg      Node
+}
+
+// LikeNode is [NOT] LIKE.
+type LikeNode struct {
+	L, Pattern Node
+	Negate     bool
+}
+
+// InNode is [NOT] IN (list).
+type InNode struct {
+	L      Node
+	List   []Node
+	Negate bool
+}
+
+// IsNullNode is IS [NOT] NULL.
+type IsNullNode struct {
+	L      Node
+	Negate bool
+}
+
+// BetweenNode is [NOT] BETWEEN lo AND hi.
+type BetweenNode struct {
+	L, Lo, Hi Node
+	Negate    bool
+}
+
+func (*Ident) node()       {}
+func (*Lit) node()         {}
+func (*ParamRef) node()    {}
+func (*BinOp) node()       {}
+func (*UnOp) node()        {}
+func (*FuncCall) node()    {}
+func (*LikeNode) node()    {}
+func (*InNode) node()      {}
+func (*IsNullNode) node()  {}
+func (*BetweenNode) node() {}

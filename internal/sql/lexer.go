@@ -1,0 +1,185 @@
+// Package sql implements the SQL front-end: a lexer, a recursive-descent
+// parser producing an AST, and a logical planner that binds statements
+// against a catalog into logical plans with predicate pushdown (the "first
+// step" of the paper's two-step optimization, Figure 3: "each query is
+// parsed and compiled individually, thereby pushing down predicates").
+//
+// The dialect covers what the TPC-W prepared statements and the examples
+// need: SELECT (joins, GROUP BY/HAVING, ORDER BY, LIMIT, DISTINCT,
+// aggregates, LIKE/IN/BETWEEN, positional ? parameters), INSERT, UPDATE,
+// DELETE, CREATE TABLE and CREATE INDEX.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam // ?
+	tokOp    // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+// keywords recognized by the lexer (upper-case canonical form).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "PRIMARY": true, "KEY": true, "ON": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "ORDER": true, "BY": true, "GROUP": true,
+	"HAVING": true, "LIMIT": true, "DISTINCT": true, "AS": true, "LIKE": true,
+	"IN": true, "IS": true, "NULL": true, "BETWEEN": true, "ASC": true,
+	"DESC": true, "TRUE": true, "FALSE": true, "INT": true, "INTEGER": true,
+	"BIGINT": true, "FLOAT": true, "DOUBLE": true, "REAL": true,
+	"VARCHAR": true, "TEXT": true, "BOOL": true, "BOOLEAN": true,
+	"TIMESTAMP": true, "DATE": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "TOP": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(tokParam, "?")
+			l.pos++
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.emit(tokKeyword, up)
+	} else {
+		l.emit(tokIdent, word)
+	}
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("sql: malformed number at %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String())
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+func (l *lexer) lexOp() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.emit(tokOp, two)
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+		l.emit(tokOp, string(c))
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

@@ -1,0 +1,907 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/types"
+)
+
+// Catalog resolves table names to schemas during binding.
+type Catalog interface {
+	// TableSchema returns the schema of the named table, or false.
+	TableSchema(name string) (*types.Schema, bool)
+}
+
+// LogicalPlan is a bound relational operator tree. It is consumed by two
+// compilers: the SharedDB global-plan compiler (internal/plan) and the
+// query-at-a-time baseline executor (internal/baseline).
+type LogicalPlan interface {
+	Schema() *types.Schema
+	Child() LogicalPlan // nil for leaves
+}
+
+// Scan reads a base table with an optional pushed-down predicate (bound
+// over the table schema; may contain Param nodes).
+type Scan struct {
+	Table string
+	Alias string // qualifier used by this query ("" = table name)
+	Pred  expr.Expr
+	Out   *types.Schema
+}
+
+// Join is an inner equi-join (LeftKeys[i] = RightKeys[i]) with an optional
+// residual predicate over the concatenated schema. Empty key lists denote a
+// cross join filtered by Residual.
+type Join struct {
+	Left, Right LogicalPlan
+	LeftKeys    []int // column indices in Left's schema
+	RightKeys   []int // column indices in Right's schema
+	Residual    expr.Expr
+	Out         *types.Schema
+}
+
+// Filter keeps rows satisfying Pred.
+type Filter struct {
+	In   LogicalPlan
+	Pred expr.Expr
+}
+
+// Project computes output columns from input rows.
+type Project struct {
+	In    LogicalPlan
+	Exprs []expr.Expr
+	Out   *types.Schema
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"COUNT", "SUM", "MIN", "MAX", "AVG"}[f]
+}
+
+// AggSpec is one aggregate computed by a Group.
+type AggSpec struct {
+	Func     AggFunc
+	Arg      expr.Expr // nil for COUNT(*)
+	Distinct bool
+	Name     string // output column name
+}
+
+// Group groups by the given input columns and computes aggregates. Its
+// output schema is the group columns followed by one column per aggregate.
+// Having (optional) is bound over the output schema. An empty GroupCols
+// list aggregates the whole input into a single row.
+type Group struct {
+	In        LogicalPlan
+	GroupCols []int
+	Aggs      []AggSpec
+	Having    expr.Expr
+	Out       *types.Schema
+}
+
+// SortKey is one ORDER BY key, bound over the sort input schema.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Sort orders rows by the given keys.
+type Sort struct {
+	In   LogicalPlan
+	Keys []SortKey
+}
+
+// Limit keeps the first N rows. A Limit directly above a Sort is a Top-N.
+type Limit struct {
+	In LogicalPlan
+	N  int
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	In LogicalPlan
+}
+
+// Schema/Child implementations.
+
+func (s *Scan) Schema() *types.Schema     { return s.Out }
+func (s *Scan) Child() LogicalPlan        { return nil }
+func (j *Join) Schema() *types.Schema     { return j.Out }
+func (j *Join) Child() LogicalPlan        { return j.Left }
+func (f *Filter) Schema() *types.Schema   { return f.In.Schema() }
+func (f *Filter) Child() LogicalPlan      { return f.In }
+func (p *Project) Schema() *types.Schema  { return p.Out }
+func (p *Project) Child() LogicalPlan     { return p.In }
+func (g *Group) Schema() *types.Schema    { return g.Out }
+func (g *Group) Child() LogicalPlan       { return g.In }
+func (s *Sort) Schema() *types.Schema     { return s.In.Schema() }
+func (s *Sort) Child() LogicalPlan        { return s.In }
+func (l *Limit) Schema() *types.Schema    { return l.In.Schema() }
+func (l *Limit) Child() LogicalPlan       { return l.In }
+func (d *Distinct) Schema() *types.Schema { return d.In.Schema() }
+func (d *Distinct) Child() LogicalPlan    { return d.In }
+
+// WritePlan is the bound form of INSERT/UPDATE/DELETE.
+type WritePlan struct {
+	Kind   WriteKind
+	Table  string
+	Values []expr.Expr // insert: one per schema column
+	Pred   expr.Expr   // update/delete
+	Set    []SetCol    // update
+}
+
+// WriteKind enumerates write statement kinds.
+type WriteKind uint8
+
+// Write kinds.
+const (
+	WriteInsert WriteKind = iota
+	WriteUpdate
+	WriteDelete
+)
+
+// SetCol assigns Val (over the table schema) to column Col.
+type SetCol struct {
+	Col int
+	Val expr.Expr
+}
+
+// DDLPlan is the bound form of CREATE TABLE / CREATE INDEX.
+type DDLPlan struct {
+	CreateTable *CreateTableStmt
+	CreateIndex *CreateIndexStmt
+}
+
+// PlanStatement binds a parsed statement against the catalog.
+// The result is one of *LogicalPlan-rooted SELECT (returned as LogicalPlan),
+// *WritePlan, or *DDLPlan.
+func PlanStatement(stmt Statement, cat Catalog) (interface{}, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return PlanSelect(s, cat)
+	case *InsertStmt:
+		return planInsert(s, cat)
+	case *UpdateStmt:
+		return planUpdate(s, cat)
+	case *DeleteStmt:
+		return planDelete(s, cat)
+	case *CreateTableStmt:
+		return &DDLPlan{CreateTable: s}, nil
+	case *CreateIndexStmt:
+		return &DDLPlan{CreateIndex: s}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+// binder holds state while binding one SELECT.
+type binder struct {
+	cat Catalog
+}
+
+// PlanSelect binds a SELECT into a logical plan:
+//
+//	Scan* → Join tree (left-deep, FROM order) → Filter → [Group] →
+//	[Sort] → [Limit] → Project → [Distinct]
+//
+// Single-table conjuncts of WHERE are pushed into scans; cross-table
+// equality conjuncts become join keys (the paper's Figure 3 "logical query
+// optimization" step).
+func PlanSelect(s *SelectStmt, cat Catalog) (LogicalPlan, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	b := &binder{cat: cat}
+
+	// Resolve FROM tables.
+	type fromTable struct {
+		ref    TableRef
+		schema *types.Schema // qualified
+		offset int           // first column in the combined schema
+	}
+	tables := make([]fromTable, len(s.From))
+	combined := types.NewSchema()
+	for i, ref := range s.From {
+		ts, ok := cat.TableSchema(ref.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", ref.Table)
+		}
+		qual := ref.Alias
+		if qual == "" {
+			qual = ref.Table
+		}
+		qs := ts.WithQualifier(qual)
+		tables[i] = fromTable{ref: ref, schema: qs, offset: combined.Len()}
+		combined = combined.Concat(qs)
+	}
+
+	// Collect WHERE plus explicit JOIN ... ON conditions.
+	var whereNodes []Node
+	if s.Where != nil {
+		whereNodes = append(whereNodes, s.Where)
+	}
+	for _, ref := range s.From {
+		if ref.JoinOn != nil {
+			whereNodes = append(whereNodes, ref.JoinOn)
+		}
+	}
+	var conjuncts []expr.Expr
+	for _, n := range whereNodes {
+		e, err := b.bindScalar(n, combined)
+		if err != nil {
+			return nil, err
+		}
+		conjuncts = append(conjuncts, expr.Conjuncts(e)...)
+	}
+
+	// Classify conjuncts: per-table pushdown, join keys, residual.
+	tableOf := func(col int) int {
+		for i := len(tables) - 1; i >= 0; i-- {
+			if col >= tables[i].offset {
+				return i
+			}
+		}
+		return 0
+	}
+	pushed := make([][]expr.Expr, len(tables))
+	type joinKey struct{ lcol, rcol int } // global column indices, l in earlier table
+	var joinKeys []joinKey
+	var residual []expr.Expr
+	for _, c := range conjuncts {
+		cols := expr.Columns(c)
+		tset := map[int]bool{}
+		for col := range cols {
+			tset[tableOf(col)] = true
+		}
+		switch {
+		case len(tset) == 0:
+			residual = append(residual, c) // constant predicate
+		case len(tset) == 1:
+			var ti int
+			for t := range tset {
+				ti = t
+			}
+			mapping := map[int]int{}
+			for col := range cols {
+				mapping[col] = col - tables[ti].offset
+			}
+			pushed[ti] = append(pushed[ti], expr.Remap(c, mapping))
+		default:
+			// cross-table: equi-join key if "colA = colB"
+			if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+				lc, lok := cmp.L.(*expr.ColRef)
+				rc, rok := cmp.R.(*expr.ColRef)
+				if lok && rok && len(tset) == 2 {
+					l, r := lc.Idx, rc.Idx
+					if l > r {
+						l, r = r, l
+					}
+					joinKeys = append(joinKeys, joinKey{lcol: l, rcol: r})
+					continue
+				}
+			}
+			residual = append(residual, c)
+		}
+	}
+
+	// Build scans and the left-deep join tree in FROM order.
+	var cur LogicalPlan = &Scan{
+		Table: tables[0].ref.Table,
+		Alias: qualOf(tables[0].ref),
+		Pred:  expr.AndOf(pushed[0]),
+		Out:   tables[0].schema,
+	}
+	usedKeys := make([]bool, len(joinKeys))
+	for i := 1; i < len(tables); i++ {
+		right := &Scan{
+			Table: tables[i].ref.Table,
+			Alias: qualOf(tables[i].ref),
+			Pred:  expr.AndOf(pushed[i]),
+			Out:   tables[i].schema,
+		}
+		var lkeys, rkeys []int
+		hi := tables[i].offset + tables[i].schema.Len()
+		for k, jk := range joinKeys {
+			if usedKeys[k] {
+				continue
+			}
+			if jk.lcol < tables[i].offset && jk.rcol >= tables[i].offset && jk.rcol < hi {
+				lkeys = append(lkeys, jk.lcol) // accumulated side is a prefix of combined
+				rkeys = append(rkeys, jk.rcol-tables[i].offset)
+				usedKeys[k] = true
+			}
+		}
+		cur = &Join{
+			Left:      cur,
+			Right:     right,
+			LeftKeys:  lkeys,
+			RightKeys: rkeys,
+			Out:       cur.Schema().Concat(right.Schema()),
+		}
+	}
+	// join keys that span non-adjacent steps or duplicates become residual
+	for k, jk := range joinKeys {
+		if !usedKeys[k] {
+			residual = append(residual, &expr.Cmp{Op: expr.EQ,
+				L: &expr.ColRef{Idx: jk.lcol}, R: &expr.ColRef{Idx: jk.rcol}})
+		}
+	}
+	if len(residual) > 0 {
+		cur = &Filter{In: cur, Pred: expr.AndOf(residual)}
+	}
+
+	// Aggregation.
+	grouped := len(s.GroupBy) > 0 || hasAggregate(s)
+	var aggIndex map[string]int // agg signature → output column in Group.Out
+	if grouped {
+		g, ai, err := b.buildGroup(s, cur, combined)
+		if err != nil {
+			return nil, err
+		}
+		cur = g
+		aggIndex = ai
+	}
+
+	// ORDER BY binds over the (possibly grouped) schema; aliases resolve to
+	// the underlying select expression.
+	if len(s.OrderBy) > 0 {
+		keys := make([]SortKey, len(s.OrderBy))
+		for i, oi := range s.OrderBy {
+			node := resolveAlias(oi.Expr, s.Items)
+			e, err := b.bindMaybeAgg(node, cur.Schema(), aggIndex)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = SortKey{Expr: e, Desc: oi.Desc}
+		}
+		cur = &Sort{In: cur, Keys: keys}
+	}
+	if s.Limit >= 0 {
+		cur = &Limit{In: cur, N: s.Limit}
+	}
+
+	// Projection.
+	proj, err := b.buildProject(s, cur, aggIndex)
+	if err != nil {
+		return nil, err
+	}
+	cur = proj
+	if s.Distinct {
+		cur = &Distinct{In: cur}
+	}
+	return cur, nil
+}
+
+func qualOf(ref TableRef) string {
+	if ref.Alias != "" {
+		return ref.Alias
+	}
+	return ref.Table
+}
+
+func hasAggregate(s *SelectStmt) bool {
+	var found bool
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *FuncCall:
+			found = true
+		case *BinOp:
+			walk(x.L)
+			walk(x.R)
+		case *UnOp:
+			walk(x.Kid)
+		}
+	}
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			walk(it.Expr)
+		}
+	}
+	if s.Having != nil {
+		walk(s.Having)
+	}
+	return found
+}
+
+// aggSignature canonicalizes an aggregate call for matching between the
+// select list, HAVING and ORDER BY.
+func aggSignature(fc *FuncCall) string {
+	var b strings.Builder
+	b.WriteString(fc.Name)
+	b.WriteByte('(')
+	if fc.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if fc.Star {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(nodeString(fc.Arg))
+	}
+	b.WriteByte(')')
+	return strings.ToUpper(b.String())
+}
+
+func nodeString(n Node) string {
+	switch x := n.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return x.Name
+	case *Lit:
+		return x.Val.String()
+	case *ParamRef:
+		return fmt.Sprintf("?%d", x.Idx)
+	case *BinOp:
+		return "(" + nodeString(x.L) + x.Op + nodeString(x.R) + ")"
+	case *UnOp:
+		return x.Op + nodeString(x.Kid)
+	case *FuncCall:
+		return aggSignature(x)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// buildGroup constructs the Group node: group columns must be plain column
+// references; aggregates are harvested from the select list, HAVING and
+// ORDER BY.
+func (b *binder) buildGroup(s *SelectStmt, in LogicalPlan, inSchema *types.Schema) (*Group, map[string]int, error) {
+	g := &Group{In: in}
+	outCols := []types.Column{}
+	for _, gn := range s.GroupBy {
+		e, err := b.bindScalar(gn, inSchema)
+		if err != nil {
+			return nil, nil, err
+		}
+		cr, ok := e.(*expr.ColRef)
+		if !ok {
+			return nil, nil, fmt.Errorf("sql: GROUP BY supports column references only, got %s", e)
+		}
+		g.GroupCols = append(g.GroupCols, cr.Idx)
+		outCols = append(outCols, inSchema.Cols[cr.Idx])
+	}
+
+	aggIndex := map[string]int{}
+	var addAgg func(fc *FuncCall) error
+	addAgg = func(fc *FuncCall) error {
+		sig := aggSignature(fc)
+		if _, dup := aggIndex[sig]; dup {
+			return nil
+		}
+		spec := AggSpec{Distinct: fc.Distinct, Name: sig}
+		switch fc.Name {
+		case "COUNT":
+			spec.Func = AggCount
+		case "SUM":
+			spec.Func = AggSum
+		case "MIN":
+			spec.Func = AggMin
+		case "MAX":
+			spec.Func = AggMax
+		case "AVG":
+			spec.Func = AggAvg
+		default:
+			return fmt.Errorf("sql: unknown aggregate %q", fc.Name)
+		}
+		if !fc.Star {
+			arg, err := b.bindScalar(fc.Arg, inSchema)
+			if err != nil {
+				return err
+			}
+			spec.Arg = arg
+		}
+		aggIndex[sig] = len(g.GroupCols) + len(g.Aggs)
+		kind := types.KindFloat
+		switch spec.Func {
+		case AggCount:
+			kind = types.KindInt
+		case AggSum, AggMin, AggMax:
+			kind = inferKind(spec.Arg, inSchema)
+		}
+		outCols = append(outCols, types.Column{Name: sig, Kind: kind})
+		g.Aggs = append(g.Aggs, spec)
+		return nil
+	}
+	var harvest func(Node) error
+	harvest = func(n Node) error {
+		switch x := n.(type) {
+		case nil:
+			return nil
+		case *FuncCall:
+			return addAgg(x)
+		case *BinOp:
+			if err := harvest(x.L); err != nil {
+				return err
+			}
+			return harvest(x.R)
+		case *UnOp:
+			return harvest(x.Kid)
+		default:
+			return nil
+		}
+	}
+	for _, it := range s.Items {
+		if err := harvest(it.Expr); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := harvest(s.Having); err != nil {
+		return nil, nil, err
+	}
+	for _, oi := range s.OrderBy {
+		if err := harvest(resolveAlias(oi.Expr, s.Items)); err != nil {
+			return nil, nil, err
+		}
+	}
+	g.Out = types.NewSchema(outCols...)
+
+	if s.Having != nil {
+		h, err := b.bindMaybeAgg(s.Having, g.Out, aggIndex)
+		if err != nil {
+			return nil, nil, err
+		}
+		g.Having = h
+	}
+	return g, aggIndex, nil
+}
+
+// buildProject binds the select list over the current plan's schema.
+func (b *binder) buildProject(s *SelectStmt, in LogicalPlan, aggIndex map[string]int) (*Project, error) {
+	inSchema := in.Schema()
+	var exprs []expr.Expr
+	var cols []types.Column
+	for _, it := range s.Items {
+		if it.Star {
+			for i, c := range inSchema.Cols {
+				if it.StarTable != "" && !strings.EqualFold(c.Qualifier, it.StarTable) {
+					continue
+				}
+				exprs = append(exprs, &expr.ColRef{Idx: i, Name: c.QName()})
+				cols = append(cols, c)
+			}
+			continue
+		}
+		e, err := b.bindMaybeAgg(it.Expr, inSchema, aggIndex)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = displayName(it.Expr)
+		}
+		col := types.Column{Name: name, Kind: inferKind(e, inSchema)}
+		if id, ok := it.Expr.(*Ident); ok && it.Alias == "" {
+			// keep qualifier for bare column selections
+			if i := strings.IndexByte(id.Name, '.'); i >= 0 {
+				col.Qualifier, col.Name = id.Name[:i], id.Name[i+1:]
+			}
+		}
+		exprs = append(exprs, e)
+		cols = append(cols, col)
+	}
+	return &Project{In: in, Exprs: exprs, Out: types.NewSchema(cols...)}, nil
+}
+
+func displayName(n Node) string {
+	switch x := n.(type) {
+	case *Ident:
+		return x.Name
+	case *FuncCall:
+		return aggSignature(x)
+	default:
+		return nodeString(n)
+	}
+}
+
+// resolveAlias replaces a bare identifier that names a select alias with
+// the aliased expression (ORDER BY val → ORDER BY SUM(qty)).
+func resolveAlias(n Node, items []SelectItem) Node {
+	id, ok := n.(*Ident)
+	if !ok {
+		return n
+	}
+	for _, it := range items {
+		if it.Alias != "" && strings.EqualFold(it.Alias, id.Name) {
+			return it.Expr
+		}
+	}
+	return n
+}
+
+// bindMaybeAgg binds a node over schema, mapping aggregate calls to their
+// Group output columns via aggIndex.
+func (b *binder) bindMaybeAgg(n Node, schema *types.Schema, aggIndex map[string]int) (expr.Expr, error) {
+	if fc, ok := n.(*FuncCall); ok {
+		if aggIndex == nil {
+			return nil, fmt.Errorf("sql: aggregate %s outside GROUP BY context", aggSignature(fc))
+		}
+		idx, ok := aggIndex[aggSignature(fc)]
+		if !ok {
+			return nil, fmt.Errorf("sql: aggregate %s not available", aggSignature(fc))
+		}
+		return &expr.ColRef{Idx: idx, Name: aggSignature(fc)}, nil
+	}
+	if bin, ok := n.(*BinOp); ok && (bin.Op == "AND" || bin.Op == "OR" || isCmpOp(bin.Op) || isArithOp(bin.Op)) {
+		l, err := b.bindMaybeAgg(bin.L, schema, aggIndex)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindMaybeAgg(bin.R, schema, aggIndex)
+		if err != nil {
+			return nil, err
+		}
+		return combineBin(bin.Op, l, r)
+	}
+	return b.bindScalar(n, schema)
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func isArithOp(op string) bool {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return true
+	}
+	return false
+}
+
+func combineBin(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "AND":
+		return &expr.And{Kids: []expr.Expr{l, r}}, nil
+	case "OR":
+		return &expr.Or{Kids: []expr.Expr{l, r}}, nil
+	case "=":
+		return &expr.Cmp{Op: expr.EQ, L: l, R: r}, nil
+	case "<>":
+		return &expr.Cmp{Op: expr.NE, L: l, R: r}, nil
+	case "<":
+		return &expr.Cmp{Op: expr.LT, L: l, R: r}, nil
+	case "<=":
+		return &expr.Cmp{Op: expr.LE, L: l, R: r}, nil
+	case ">":
+		return &expr.Cmp{Op: expr.GT, L: l, R: r}, nil
+	case ">=":
+		return &expr.Cmp{Op: expr.GE, L: l, R: r}, nil
+	case "+":
+		return &expr.Arith{Op: expr.Add, L: l, R: r}, nil
+	case "-":
+		return &expr.Arith{Op: expr.Sub, L: l, R: r}, nil
+	case "*":
+		return &expr.Arith{Op: expr.Mul, L: l, R: r}, nil
+	case "/":
+		return &expr.Arith{Op: expr.Div, L: l, R: r}, nil
+	case "%":
+		return &expr.Arith{Op: expr.Mod, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}
+
+// bindScalar binds a scalar (non-aggregate) node over schema.
+func (b *binder) bindScalar(n Node, schema *types.Schema) (expr.Expr, error) {
+	switch x := n.(type) {
+	case *Ident:
+		if schema == nil {
+			return nil, fmt.Errorf("sql: column reference %q not allowed here", x.Name)
+		}
+		idx, err := schema.ColIndex(x.Name)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		return &expr.ColRef{Idx: idx, Name: x.Name}, nil
+	case *Lit:
+		return &expr.Const{Val: x.Val}, nil
+	case *ParamRef:
+		return &expr.Param{Idx: x.Idx}, nil
+	case *BinOp:
+		l, err := b.bindScalar(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindScalar(x.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return combineBin(x.Op, l, r)
+	case *UnOp:
+		k, err := b.bindScalar(x.Kid, schema)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return &expr.Not{Kid: k}, nil
+		case "-":
+			return &expr.Arith{Op: expr.Sub, L: &expr.Const{Val: types.NewInt(0)}, R: k}, nil
+		default:
+			return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+		}
+	case *LikeNode:
+		l, err := b.bindScalar(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		p, err := b.bindScalar(x.Pattern, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Like{L: l, Pattern: p, Negate: x.Negate}, nil
+	case *InNode:
+		l, err := b.bindScalar(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]expr.Expr, len(x.List))
+		for i, e := range x.List {
+			be, err := b.bindScalar(e, schema)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = be
+		}
+		return &expr.In{L: l, List: list, Negate: x.Negate}, nil
+	case *IsNullNode:
+		l, err := b.bindScalar(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{Kid: l, Negate: x.Negate}, nil
+	case *BetweenNode:
+		l, err := b.bindScalar(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindScalar(x.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindScalar(x.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		between := &expr.And{Kids: []expr.Expr{
+			&expr.Cmp{Op: expr.GE, L: l, R: lo},
+			&expr.Cmp{Op: expr.LE, L: l, R: hi},
+		}}
+		if x.Negate {
+			return &expr.Not{Kid: between}, nil
+		}
+		return between, nil
+	case *FuncCall:
+		return nil, fmt.Errorf("sql: aggregate %s in scalar context", aggSignature(x))
+	default:
+		return nil, fmt.Errorf("sql: cannot bind %T", n)
+	}
+}
+
+// inferKind approximates the result kind of a bound expression.
+func inferKind(e expr.Expr, schema *types.Schema) types.Kind {
+	switch x := e.(type) {
+	case nil:
+		return types.KindInt
+	case *expr.ColRef:
+		if schema != nil && x.Idx < schema.Len() {
+			return schema.Cols[x.Idx].Kind
+		}
+		return types.KindInt
+	case *expr.Const:
+		return x.Val.Kind()
+	case *expr.Arith:
+		lk, rk := inferKind(x.L, schema), inferKind(x.R, schema)
+		if lk == types.KindFloat || rk == types.KindFloat || x.Op == expr.Div {
+			return types.KindFloat
+		}
+		return types.KindInt
+	case *expr.Param:
+		return types.KindInt // unknowable pre-execution; INT is a safe display default
+	default:
+		return types.KindBool
+	}
+}
+
+func planInsert(s *InsertStmt, cat Catalog) (*WritePlan, error) {
+	schema, ok := cat.TableSchema(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	b := &binder{cat: cat}
+	vals := make([]expr.Expr, schema.Len())
+	for i := range vals {
+		vals[i] = &expr.Const{Val: types.Null}
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		if len(s.Values) != schema.Len() {
+			return nil, fmt.Errorf("sql: INSERT has %d values, table %s has %d columns",
+				len(s.Values), s.Table, schema.Len())
+		}
+		for i, v := range s.Values {
+			e, err := b.bindScalar(v, nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = e
+		}
+	} else {
+		if len(cols) != len(s.Values) {
+			return nil, fmt.Errorf("sql: INSERT has %d columns but %d values", len(cols), len(s.Values))
+		}
+		for i, c := range cols {
+			idx, err := schema.ColIndex(c)
+			if err != nil {
+				return nil, fmt.Errorf("sql: %w", err)
+			}
+			e, err := b.bindScalar(s.Values[i], nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[idx] = e
+		}
+	}
+	return &WritePlan{Kind: WriteInsert, Table: s.Table, Values: vals}, nil
+}
+
+func planUpdate(s *UpdateStmt, cat Catalog) (*WritePlan, error) {
+	schema, ok := cat.TableSchema(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	b := &binder{cat: cat}
+	wp := &WritePlan{Kind: WriteUpdate, Table: s.Table}
+	for _, sc := range s.Set {
+		idx, err := schema.ColIndex(sc.Column)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		e, err := b.bindScalar(sc.Value, schema)
+		if err != nil {
+			return nil, err
+		}
+		wp.Set = append(wp.Set, SetCol{Col: idx, Val: e})
+	}
+	if s.Where != nil {
+		p, err := b.bindScalar(s.Where, schema)
+		if err != nil {
+			return nil, err
+		}
+		wp.Pred = p
+	}
+	return wp, nil
+}
+
+func planDelete(s *DeleteStmt, cat Catalog) (*WritePlan, error) {
+	schema, ok := cat.TableSchema(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	b := &binder{cat: cat}
+	wp := &WritePlan{Kind: WriteDelete, Table: s.Table}
+	if s.Where != nil {
+		p, err := b.bindScalar(s.Where, schema)
+		if err != nil {
+			return nil, err
+		}
+		wp.Pred = p
+	}
+	return wp, nil
+}

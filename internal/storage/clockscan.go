@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"sort"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// ClockScan is the shared table scan of the Crescando storage manager
+// (Unterbrunner et al., cited as [28]; paper §4.4). It batches the read
+// queries of one cycle and answers all of them in a single pass over the
+// table. "Performance is increased by indexing the query predicates instead
+// of the data and performing query-data joins": equality predicates are
+// hashed by (column, value) and range predicates are kept in per-column
+// interval lists sorted by lower bound, so each record is matched against
+// the whole query batch in (near-)constant time instead of evaluating every
+// query's predicate on every record.
+//
+// The scan produces rows in SharedDB's data-query model: each emitted row
+// carries the set of query ids interested in it (paper §3.1, Figure 1).
+
+// ScanClient is one read query participating in a scan cycle.
+type ScanClient struct {
+	ID   queryset.QueryID
+	Pred expr.Expr // bound predicate over the table schema; nil = all rows
+}
+
+// eqProbe is a query hanging off an equality predicate index entry.
+type eqProbe struct {
+	id       queryset.QueryID
+	residual expr.Expr
+}
+
+// rangeProbe is a query indexed by a range predicate on one column.
+type rangeProbe struct {
+	rng      expr.Range
+	id       queryset.QueryID
+	residual expr.Expr
+}
+
+// predIndex is the per-cycle query index of a ClockScan.
+type predIndex struct {
+	// eq[col][encodedValue] → queries whose predicate pins col to value.
+	eq map[int]map[string][]eqProbe
+	// ranges[col] → queries with an interval constraint on col, sorted by
+	// lower bound (unbounded first) for early termination.
+	ranges map[int][]rangeProbe
+	// rest: queries that could not be indexed (disjunctions, LIKE-only, no
+	// predicate); evaluated per record.
+	rest []eqProbe
+}
+
+// buildPredIndex classifies every client by its most selective indexable
+// conjunct.
+func buildPredIndex(clients []ScanClient) *predIndex {
+	pi := &predIndex{eq: map[int]map[string][]eqProbe{}, ranges: map[int][]rangeProbe{}}
+	for _, c := range clients {
+		conjs := expr.Conjuncts(c.Pred)
+		// Prefer an equality conjunct; otherwise a range conjunct.
+		eqAt := -1
+		rngAt := -1
+		for i, cj := range conjs {
+			if _, _, ok := expr.EqualityMatch(cj); ok {
+				eqAt = i
+				break
+			}
+			if rngAt < 0 {
+				if _, ok := expr.RangeMatch(cj); ok {
+					rngAt = i
+				}
+			}
+		}
+		switch {
+		case eqAt >= 0:
+			col, val, _ := expr.EqualityMatch(conjs[eqAt])
+			residual := expr.AndOf(removeAt(conjs, eqAt))
+			m := pi.eq[col]
+			if m == nil {
+				m = map[string][]eqProbe{}
+				pi.eq[col] = m
+			}
+			k := types.EncodeKey(val)
+			m[k] = append(m[k], eqProbe{id: c.ID, residual: residual})
+		case rngAt >= 0:
+			rng, _ := expr.RangeMatch(conjs[rngAt])
+			residual := expr.AndOf(removeAt(conjs, rngAt))
+			pi.ranges[rng.Col] = append(pi.ranges[rng.Col], rangeProbe{rng: rng, id: c.ID, residual: residual})
+		default:
+			pi.rest = append(pi.rest, eqProbe{id: c.ID, residual: c.Pred})
+		}
+	}
+	for col := range pi.ranges {
+		rs := pi.ranges[col]
+		sort.SliceStable(rs, func(i, j int) bool {
+			li, lj := rs[i].rng.Lo, rs[j].rng.Lo
+			if li.IsNull() != lj.IsNull() {
+				return li.IsNull() // unbounded lower bounds first
+			}
+			if li.IsNull() {
+				return false
+			}
+			return li.Compare(lj) < 0
+		})
+	}
+	return pi
+}
+
+func removeAt(conjs []expr.Expr, i int) []expr.Expr {
+	out := make([]expr.Expr, 0, len(conjs)-1)
+	out = append(out, conjs[:i]...)
+	out = append(out, conjs[i+1:]...)
+	return out
+}
+
+// match collects the ids of all queries interested in row into buf.
+func (pi *predIndex) match(row types.Row, buf []queryset.QueryID) []queryset.QueryID {
+	for col, m := range pi.eq {
+		if probes, ok := m[types.EncodeKey(row[col])]; ok {
+			for _, p := range probes {
+				if expr.TruthyEval(p.residual, row, nil) {
+					buf = append(buf, p.id)
+				}
+			}
+		}
+	}
+	for col, probes := range pi.ranges {
+		v := row[col]
+		for _, p := range probes {
+			// probes are sorted by lower bound: once Lo > v no later probe
+			// can match.
+			if !p.rng.Lo.IsNull() && v.Compare(p.rng.Lo) < 0 {
+				break
+			}
+			if p.rng.Contains(v) && expr.TruthyEval(p.residual, row, nil) {
+				buf = append(buf, p.id)
+			}
+		}
+	}
+	for _, p := range pi.rest {
+		if expr.TruthyEval(p.residual, row, nil) {
+			buf = append(buf, p.id)
+		}
+	}
+	return buf
+}
+
+// SharedScan executes one ClockScan cycle: a single pass over the rows
+// visible at snapshot ts answering every client at once. emit receives each
+// row that at least one client wants, together with the interested query-id
+// set (the data-query model).
+func (t *Table) SharedScan(ts uint64, clients []ScanClient, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	if len(clients) == 0 {
+		return
+	}
+	pi := buildPredIndex(clients)
+	var buf []queryset.QueryID
+	t.ScanVisible(ts, func(rid RowID, row types.Row) bool {
+		buf = pi.match(row, buf[:0])
+		if len(buf) > 0 {
+			emit(rid, row, queryset.Of(buf...))
+		}
+		return true
+	})
+}
+
+// SharedScanNaive answers the same question without the predicate index:
+// every client's predicate is evaluated against every record. Kept for the
+// ablation benchmark (DESIGN.md A4) quantifying the value of query-data
+// joins.
+func (t *Table) SharedScanNaive(ts uint64, clients []ScanClient, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	if len(clients) == 0 {
+		return
+	}
+	var buf []queryset.QueryID
+	t.ScanVisible(ts, func(rid RowID, row types.Row) bool {
+		buf = buf[:0]
+		for _, c := range clients {
+			if expr.TruthyEval(c.Pred, row, nil) {
+				buf = append(buf, c.ID)
+			}
+		}
+		if len(buf) > 0 {
+			emit(rid, row, queryset.Of(buf...))
+		}
+		return true
+	})
+}

@@ -1,0 +1,346 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/types"
+)
+
+// Common storage errors.
+var (
+	ErrConflict      = errors.New("storage: snapshot isolation write-write conflict")
+	ErrUniqueViolate = errors.New("storage: unique index violation")
+	ErrNoTable       = errors.New("storage: no such table")
+	ErrTxDone        = errors.New("storage: transaction already finished")
+)
+
+// Options configures a Database.
+type Options struct {
+	// WALDir enables durability: updates are logged to WALDir and
+	// checkpoints are written there. Empty disables logging (the
+	// configuration the paper used for MySQL).
+	WALDir string
+	// SyncWAL fsyncs the log on every commit batch when true.
+	SyncWAL bool
+}
+
+// Database is the storage manager: a catalog of MVCC tables with a global
+// commit clock providing snapshot isolation, plus optional WAL durability.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// commitMu serializes commit batches; clock/snapTS only change while it
+	// is held. Readers load snapTS without commitMu via stateMu.
+	commitMu sync.Mutex
+	stateMu  sync.RWMutex
+	clock    uint64 // last assigned commit timestamp
+	snapTS   uint64 // latest published snapshot
+
+	wal *WAL
+}
+
+// Open creates a new empty database. If opts.WALDir is set, any existing
+// checkpoint and log found there are NOT replayed automatically — call
+// Recover after re-creating the schema.
+func Open(opts Options) (*Database, error) {
+	db := &Database{tables: map[string]*Table{}}
+	if opts.WALDir != "" {
+		w, err := OpenWAL(opts.WALDir, opts.SyncWAL)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+	return db, nil
+}
+
+// Close releases the WAL (if any).
+func (db *Database) Close() error {
+	if db.wal != nil {
+		return db.wal.Close()
+	}
+	return nil
+}
+
+// CreateTable registers a new table.
+func (db *Database) CreateTable(name string, schema *types.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table or nil.
+func (db *Database) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// Tables returns all tables sorted by name.
+func (db *Database) Tables() []*Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// SnapshotTS returns the latest committed snapshot timestamp. All reads at
+// this timestamp see a consistent database state.
+func (db *Database) SnapshotTS() uint64 {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	return db.snapTS
+}
+
+func (db *Database) publish(ts uint64) {
+	db.stateMu.Lock()
+	db.clock = ts
+	db.snapTS = ts
+	db.stateMu.Unlock()
+}
+
+// WriteKind enumerates mutation kinds.
+type WriteKind uint8
+
+// Mutation kinds.
+const (
+	WInsert WriteKind = iota
+	WUpdate
+	WDelete
+)
+
+// ColSet assigns a new value (an expression over the old row) to a column.
+type ColSet struct {
+	Col int
+	Val expr.Expr
+}
+
+// WriteOp is one logical mutation. Update/Delete targets are selected by a
+// bound predicate over the table schema at apply time.
+type WriteOp struct {
+	Table string
+	Kind  WriteKind
+	Row   types.Row // insert only
+	Pred  expr.Expr // update/delete target selection (nil = all rows)
+	Set   []ColSet  // update only
+}
+
+// OpResult reports the outcome of one WriteOp.
+type OpResult struct {
+	RowsAffected int
+	Err          error
+}
+
+// resolveTargets finds the RowIDs of rows visible at ts satisfying pred,
+// using an index when an equality conjunct matches one (the common TPC-W
+// case: updates by primary key), else a full scan. Caller holds the table's
+// write lock (readers of slots are safe under either lock).
+func resolveTargets(t *Table, pred expr.Expr, ts uint64) []RowID {
+	var out []RowID
+	// Index selection: collect equality conjuncts col=const and find an
+	// index whose leading columns are all covered.
+	eq := map[int]types.Value{}
+	for _, c := range expr.Conjuncts(pred) {
+		if col, v, ok := expr.EqualityMatch(c); ok {
+			if _, dup := eq[col]; !dup {
+				eq[col] = v
+			}
+		}
+	}
+	var best *Index
+	bestLen := 0
+	for _, ix := range t.indexes {
+		n := 0
+		for _, c := range ix.Cols {
+			if _, ok := eq[c]; ok {
+				n++
+			} else {
+				break
+			}
+		}
+		if n > bestLen {
+			best, bestLen = ix, n
+		}
+	}
+	if best != nil {
+		key := make([]types.Value, bestLen)
+		for i := 0; i < bestLen; i++ {
+			key[i] = eq[best.Cols[i]]
+		}
+		seen := map[RowID]bool{}
+		best.tree.SeekEQ(key, func(rid uint64) bool {
+			if seen[rid] {
+				return true
+			}
+			seen[rid] = true
+			row, ok := t.visibleLocked(rid, ts)
+			if ok && expr.TruthyEval(pred, row, nil) {
+				out = append(out, rid)
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for rid, head := range t.slots {
+		for v := head; v != nil; v = v.older {
+			if v.beginTS <= ts && ts < v.endTS {
+				if expr.TruthyEval(pred, v.row, nil) {
+					out = append(out, RowID(rid))
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkUnique verifies that inserting/updating to row would not violate a
+// unique index at snapshot ts (excluding selfRID). Caller holds write lock.
+func checkUnique(t *Table, row types.Row, ts uint64, selfRID RowID, hasSelf bool) error {
+	for _, ix := range t.indexes {
+		if !ix.Unique {
+			continue
+		}
+		key := ix.KeyFor(row)
+		dup := false
+		ix.tree.SeekEQ(key, func(rid uint64) bool {
+			if hasSelf && rid == selfRID {
+				return true
+			}
+			vRow, ok := t.visibleLocked(rid, ts)
+			if ok {
+				// visible row must actually carry the key (stale entries)
+				match := true
+				for i, c := range ix.Cols {
+					if !vRow[c].Equal(key[i]) {
+						match = false
+						break
+					}
+				}
+				if match {
+					dup = true
+					return false
+				}
+			}
+			return true
+		})
+		if dup {
+			return fmt.Errorf("%w: index %s", ErrUniqueViolate, ix.Name)
+		}
+	}
+	return nil
+}
+
+// ApplyOps applies a batch of mutations in arrival order, each at its own
+// commit timestamp so that later ops in the batch observe earlier ones.
+// This is the Crescando contract (paper §4.4): "updates are executed in
+// arrival order", while concurrent readers keep seeing the snapshot
+// published before the batch. The new snapshot is published once, after the
+// whole batch — readers never observe a half-applied batch.
+func (db *Database) ApplyOps(ops []WriteOp) ([]OpResult, uint64) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+
+	db.stateMu.RLock()
+	ts := db.clock
+	db.stateMu.RUnlock()
+
+	results := make([]OpResult, len(ops))
+	var logRecs []WALRecord
+	for i, op := range ops {
+		t := db.Table(op.Table)
+		if t == nil {
+			results[i] = OpResult{Err: fmt.Errorf("%w: %s", ErrNoTable, op.Table)}
+			continue
+		}
+		ts++
+		res, recs := applyOne(t, op, ts)
+		results[i] = res
+		logRecs = append(logRecs, recs...)
+		if res.Err != nil {
+			ts-- // nothing happened at this timestamp
+		}
+	}
+	if db.wal != nil && len(logRecs) > 0 {
+		if err := db.wal.Append(logRecs); err != nil {
+			// Durability failure: surface on every op that logged.
+			for i := range results {
+				if results[i].Err == nil {
+					results[i].Err = err
+				}
+			}
+		}
+	}
+	db.publish(ts)
+	return results, ts
+}
+
+// applyOne executes one mutation at timestamp ts and returns physical WAL
+// records describing what happened.
+func applyOne(t *Table, op WriteOp, ts uint64) (OpResult, []WALRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch op.Kind {
+	case WInsert:
+		if err := checkUnique(t, op.Row, ts-1, 0, false); err != nil {
+			return OpResult{Err: err}, nil
+		}
+		rid := t.insertLocked(op.Row.Clone(), ts)
+		return OpResult{RowsAffected: 1},
+			[]WALRecord{{TS: ts, Kind: WInsert, Table: t.name, RID: rid, Row: op.Row}}
+	case WUpdate:
+		targets := resolveTargets(t, op.Pred, ts-1)
+		var recs []WALRecord
+		for _, rid := range targets {
+			oldRow, _ := t.visibleLocked(rid, ts-1)
+			newRow := oldRow.Clone()
+			for _, set := range op.Set {
+				newRow[set.Col] = set.Val.Eval(oldRow, nil)
+			}
+			if err := checkUnique(t, newRow, ts-1, rid, true); err != nil {
+				return OpResult{RowsAffected: len(recs), Err: err}, recs
+			}
+			t.updateLocked(rid, newRow, ts)
+			recs = append(recs, WALRecord{TS: ts, Kind: WUpdate, Table: t.name, RID: rid, Row: newRow})
+		}
+		return OpResult{RowsAffected: len(targets)}, recs
+	case WDelete:
+		targets := resolveTargets(t, op.Pred, ts-1)
+		var recs []WALRecord
+		for _, rid := range targets {
+			t.deleteLocked(rid, ts)
+			recs = append(recs, WALRecord{TS: ts, Kind: WDelete, Table: t.name, RID: rid})
+		}
+		return OpResult{RowsAffected: len(targets)}, recs
+	default:
+		return OpResult{Err: fmt.Errorf("storage: unknown write kind %d", op.Kind)}, nil
+	}
+}
+
+// GCAll truncates version history older than the current snapshot minus
+// keepGenerations commit timestamps.
+func (db *Database) GCAll(keepGenerations uint64) {
+	ts := db.SnapshotTS()
+	if ts <= keepGenerations {
+		return
+	}
+	horizon := ts - keepGenerations
+	for _, t := range db.Tables() {
+		t.GC(horizon)
+	}
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"shareddb/internal/btree"
+	"shareddb/internal/expr"
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// Shared index probes (paper §4.4): "Look-ups are enqueued in the pending
+// query queue which is emptied at the beginning of each cycle ... multiple
+// B-Tree look-ups are used to evaluate all the select queries. Executing
+// multiple look-ups in one cycle allows for better instruction and data
+// cache locality."
+//
+// Sharing happens two ways: look-ups with identical keys collapse into one
+// B-tree traversal serving all their queries, and all look-ups of a cycle
+// run back-to-back over a quiesced tree.
+
+// ProbeClient is one index look-up in a probe cycle. Either Key (equality,
+// prefix semantics) or Lo/Hi (range) is set.
+type ProbeClient struct {
+	ID       queryset.QueryID
+	Key      btree.Key
+	Lo, Hi   btree.Key
+	LoIncl   bool
+	HiIncl   bool
+	Residual expr.Expr // additional bound predicate over the table schema
+}
+
+// SharedProbe executes one probe cycle against ix at snapshot ts. Equal keys
+// across clients are deduplicated so each distinct key is traversed once.
+// emit receives each visible matching row with its interested-query set.
+//
+// Visibility resolution uses a lock-free ReadView: shared probes run only
+// inside the engine's read phase, where the generation barrier excludes
+// concurrent writers.
+func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	if len(clients) == 0 {
+		return
+	}
+	view := t.ReadView(ts)
+	// Group equality clients by key; ranges handled per client.
+	type group struct {
+		key     btree.Key
+		clients []ProbeClient
+	}
+	groups := map[string]*group{}
+	var rangeClients []ProbeClient
+	for _, c := range clients {
+		if c.Key != nil {
+			k := types.EncodeKey(c.Key...)
+			g := groups[k]
+			if g == nil {
+				g = &group{key: c.Key}
+				groups[k] = g
+			}
+			g.clients = append(g.clients, c)
+		} else {
+			rangeClients = append(rangeClients, c)
+		}
+	}
+
+	// rowMatches verifies the visible row still carries the sought key
+	// (index entries for superseded versions linger until GC).
+	keyMatches := func(row types.Row, key btree.Key) bool {
+		for i := range key {
+			if i >= len(ix.Cols) {
+				break
+			}
+			if !row[ix.Cols[i]].Equal(key[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var buf []queryset.QueryID
+	for _, g := range groups {
+		// Prefix keys can reach the same rid through several full keys
+		// (e.g. superseded versions of a multi-column index); dedup on the
+		// first version that actually matches.
+		seen := map[RowID]bool{}
+		ix.tree.SeekEQ(g.key, func(rid uint64) bool {
+			if seen[rid] {
+				return true
+			}
+			row, ok := view.Visible(rid)
+			if !ok || !keyMatches(row, g.key) {
+				return true
+			}
+			seen[rid] = true
+			buf = buf[:0]
+			for _, c := range g.clients {
+				if expr.TruthyEval(c.Residual, row, nil) {
+					buf = append(buf, c.ID)
+				}
+			}
+			if len(buf) > 0 {
+				emit(rid, row, queryset.Of(buf...))
+			}
+			return true
+		})
+	}
+
+	for _, c := range rangeClients {
+		seen := map[RowID]bool{}
+		c := c
+		ix.tree.Scan(c.Lo, c.Hi, c.LoIncl, c.HiIncl, func(key btree.Key, rid uint64) bool {
+			if seen[rid] {
+				return true
+			}
+			row, ok := view.Visible(rid)
+			if !ok || !keyMatches(row, key) {
+				// Stale entry for a superseded version: the entry carrying
+				// the visible version's key will handle this rid.
+				return true
+			}
+			seen[rid] = true
+			if expr.TruthyEval(c.Residual, row, nil) {
+				emit(rid, row, queryset.Single(c.ID))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package storage
+
+import (
+	"shareddb/internal/types"
+)
+
+// ReadView is a lock-free visibility checker for one batch cycle.
+//
+// SharedDB's generation barrier guarantees that no write runs while the
+// operator dataflow executes (updates apply in phase 1, reads run in phase
+// 2; the next generation starts only after the previous fully drains), so
+// shared operators can capture the slot array once per cycle and resolve
+// row visibility without per-row locking. The query-at-a-time baseline,
+// whose reads do overlap writes, keeps using the locked Visible path.
+type ReadView struct {
+	slots []*version
+	ts    uint64
+}
+
+// ReadView captures a visibility view at snapshot ts.
+func (t *Table) ReadView(ts uint64) *ReadView {
+	t.mu.RLock()
+	slots := t.slots
+	t.mu.RUnlock()
+	return &ReadView{slots: slots, ts: ts}
+}
+
+// Visible resolves the row version of rid visible at the view's snapshot.
+func (v *ReadView) Visible(rid RowID) (types.Row, bool) {
+	if rid >= uint64(len(v.slots)) {
+		return nil, false
+	}
+	for ver := v.slots[rid]; ver != nil; ver = ver.older {
+		if ver.beginTS <= v.ts && v.ts < ver.endTS {
+			return ver.row, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,252 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// Generator populates a TPC-W database deterministically from a seed.
+type Generator struct {
+	scale Scale
+	rng   *rand.Rand
+
+	// id high-water marks used by the runtime to allocate new keys
+	MaxOrderID     int64
+	MaxOrderLineID int64
+	MaxCustomerID  int64
+	MaxAddressID   int64
+	MaxCartID      int64
+}
+
+// NewGenerator creates a generator.
+func NewGenerator(scale Scale, seed int64) *Generator {
+	return &Generator{scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+var baseTime = time.Date(2012, 8, 27, 0, 0, 0, 0, time.UTC)
+
+func (g *Generator) randString(minLen, maxLen int) string {
+	const alpha = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	n := minLen + g.rng.Intn(maxLen-minLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[g.rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+func (g *Generator) randDate(daysBack int) time.Time {
+	return baseTime.AddDate(0, 0, -g.rng.Intn(daysBack+1))
+}
+
+// Load populates all tables. It uses bulk ApplyOps batches for speed.
+func (g *Generator) Load(db *storage.Database) error {
+	if err := g.loadCountries(db); err != nil {
+		return err
+	}
+	if err := g.loadAuthors(db); err != nil {
+		return err
+	}
+	if err := g.loadItems(db); err != nil {
+		return err
+	}
+	if err := g.loadAddresses(db); err != nil {
+		return err
+	}
+	if err := g.loadCustomers(db); err != nil {
+		return err
+	}
+	if err := g.loadOrders(db); err != nil {
+		return err
+	}
+	return nil
+}
+
+func applyAll(db *storage.Database, ops []storage.WriteOp) error {
+	const chunk = 4096
+	for start := 0; start < len(ops); start += chunk {
+		end := min(start+chunk, len(ops))
+		results, _ := db.ApplyOps(ops[start:end])
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+	}
+	return nil
+}
+
+var countryNames = []string{
+	"United States", "United Kingdom", "Canada", "Germany", "France",
+	"Japan", "Netherlands", "Italy", "Switzerland", "Australia",
+}
+
+func (g *Generator) loadCountries(db *storage.Database) error {
+	ops := make([]storage.WriteOp, 0, numCountries)
+	for i := 0; i < numCountries; i++ {
+		name := fmt.Sprintf("Country%02d", i)
+		if i < len(countryNames) {
+			name = countryNames[i]
+		}
+		ops = append(ops, storage.WriteOp{Table: "country", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(name),
+			types.NewFloat(g.rng.Float64()*10 + 0.1),
+			types.NewString("Currency" + fmt.Sprint(i%10)),
+		}})
+	}
+	return applyAll(db, ops)
+}
+
+func (g *Generator) loadAuthors(db *storage.Database) error {
+	n := g.scale.Authors()
+	ops := make([]storage.WriteOp, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, storage.WriteOp{Table: "author", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(g.randString(3, 12)),
+			types.NewString(fmt.Sprintf("Lastname%04d", i)),
+			types.NewString(g.randString(1, 1)),
+			types.NewTime(g.randDate(20000)),
+			types.NewString(g.randString(50, 200)),
+		}})
+	}
+	return applyAll(db, ops)
+}
+
+func (g *Generator) loadItems(db *storage.Database) error {
+	n := g.scale.Items
+	authors := g.scale.Authors()
+	ops := make([]storage.WriteOp, 0, n)
+	for i := 0; i < n; i++ {
+		srp := float64(g.rng.Intn(9999))/100 + 1
+		ops = append(ops, storage.WriteOp{Table: "item", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("Title %05d %s", i, g.randString(4, 20))),
+			types.NewInt(int64(g.rng.Intn(authors) + 1)),
+			types.NewTime(g.randDate(4000)),
+			types.NewString("Publisher" + fmt.Sprint(i%37)),
+			types.NewString(subjects[g.rng.Intn(len(subjects))]),
+			types.NewString(g.randString(20, 100)),
+			types.NewInt(int64(g.rng.Intn(n) + 1)), // i_related1
+			types.NewString(fmt.Sprintf("img/thumb_%d.gif", i)),
+			types.NewString(fmt.Sprintf("img/image_%d.gif", i)),
+			types.NewFloat(srp),
+			types.NewFloat(srp * (0.5 + g.rng.Float64()*0.5)),
+			types.NewTime(g.randDate(30)),
+			types.NewInt(int64(10 + g.rng.Intn(21))),
+			types.NewString(fmt.Sprintf("%013d", g.rng.Int63n(1e13))),
+			types.NewInt(int64(20 + g.rng.Intn(9980))),
+			types.NewString([]string{"HARDBACK", "PAPERBACK", "USED", "AUDIO", "LIMITED-EDITION"}[g.rng.Intn(5)]),
+			types.NewString(fmt.Sprintf("%dx%dx%d", 1+g.rng.Intn(9), 10+g.rng.Intn(20), 15+g.rng.Intn(10))),
+		}})
+	}
+	return applyAll(db, ops)
+}
+
+func (g *Generator) loadAddresses(db *storage.Database) error {
+	n := g.scale.Addresses()
+	ops := make([]storage.WriteOp, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, storage.WriteOp{Table: "address", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(g.randString(10, 30)),
+			types.NewString(g.randString(10, 30)),
+			types.NewString(g.randString(4, 15)),
+			types.NewString(g.randString(2, 2)),
+			types.NewString(fmt.Sprintf("%05d", g.rng.Intn(100000))),
+			types.NewInt(int64(g.rng.Intn(numCountries) + 1)),
+		}})
+	}
+	g.MaxAddressID = int64(n)
+	return applyAll(db, ops)
+}
+
+func (g *Generator) loadCustomers(db *storage.Database) error {
+	n := g.scale.Customers
+	ops := make([]storage.WriteOp, 0, n)
+	for i := 0; i < n; i++ {
+		uname := fmt.Sprintf("user%06d", i+1)
+		since := g.randDate(730)
+		ops = append(ops, storage.WriteOp{Table: "customer", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(uname),
+			types.NewString(uname), // spec: password = username lowercased
+			types.NewString(g.randString(3, 12)),
+			types.NewString(g.randString(3, 15)),
+			types.NewInt(int64(g.rng.Intn(g.scale.Addresses()) + 1)),
+			types.NewString(fmt.Sprintf("%010d", g.rng.Int63n(1e10))),
+			types.NewString(uname + "@example.com"),
+			types.NewTime(since),
+			types.NewTime(since.AddDate(0, 0, g.rng.Intn(60))),
+			types.NewTime(baseTime),
+			types.NewTime(baseTime.Add(2 * time.Hour)),
+			types.NewFloat(float64(g.rng.Intn(51)) / 100),
+			types.NewFloat(0),
+			types.NewFloat(float64(g.rng.Intn(100000)) / 100),
+			types.NewTime(g.randDate(25000)),
+			types.NewString(g.randString(100, 400)),
+		}})
+	}
+	g.MaxCustomerID = int64(n)
+	return applyAll(db, ops)
+}
+
+func (g *Generator) loadOrders(db *storage.Database) error {
+	n := g.scale.Orders()
+	ops := make([]storage.WriteOp, 0, n*5)
+	olID := int64(0)
+	shipTypes := []string{"AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL"}
+	statuses := []string{"PENDING", "PROCESSING", "SHIPPED", "DENIED"}
+	for i := 0; i < n; i++ {
+		oid := int64(i + 1)
+		date := g.randDate(60)
+		nLines := 1 + g.rng.Intn(5)
+		subtotal := 0.0
+		for l := 0; l < nLines; l++ {
+			olID++
+			qty := int64(1 + g.rng.Intn(300)/100)
+			subtotal += float64(qty) * (1 + g.rng.Float64()*99)
+			ops = append(ops, storage.WriteOp{Table: "order_line", Kind: storage.WInsert, Row: types.Row{
+				types.NewInt(olID),
+				types.NewInt(oid),
+				types.NewInt(int64(g.rng.Intn(g.scale.Items) + 1)),
+				types.NewInt(qty),
+				types.NewFloat(float64(g.rng.Intn(31)) / 100),
+				types.NewString(g.randString(20, 100)),
+			}})
+		}
+		tax := subtotal * 0.0825
+		ops = append(ops, storage.WriteOp{Table: "orders", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(oid),
+			types.NewInt(int64(g.rng.Intn(g.scale.Customers) + 1)),
+			types.NewTime(date),
+			types.NewFloat(subtotal),
+			types.NewFloat(tax),
+			types.NewFloat(subtotal + tax + 3.0),
+			types.NewString(shipTypes[g.rng.Intn(len(shipTypes))]),
+			types.NewTime(date.AddDate(0, 0, g.rng.Intn(7))),
+			types.NewInt(int64(g.rng.Intn(g.scale.Addresses()) + 1)),
+			types.NewInt(int64(g.rng.Intn(g.scale.Addresses()) + 1)),
+			types.NewString(statuses[g.rng.Intn(len(statuses))]),
+		}})
+		ops = append(ops, storage.WriteOp{Table: "cc_xacts", Kind: storage.WInsert, Row: types.Row{
+			types.NewInt(oid),
+			types.NewString([]string{"VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"}[g.rng.Intn(5)]),
+			types.NewString(fmt.Sprintf("%016d", g.rng.Int63n(1e16))),
+			types.NewString(g.randString(10, 30)),
+			types.NewTime(baseTime.AddDate(g.rng.Intn(3), 0, 0)),
+			types.NewString(g.randString(15, 15)),
+			types.NewFloat(subtotal + tax),
+			types.NewTime(date),
+			types.NewInt(int64(g.rng.Intn(numCountries) + 1)),
+		}})
+	}
+	g.MaxOrderID = int64(n)
+	g.MaxOrderLineID = olID
+	return applyAll(db, ops)
+}

@@ -1,0 +1,145 @@
+package tpcw
+
+// The prepared statements of the TPC-W reference implementation ("the
+// implementation of the TPC-W benchmark involves about thirty different
+// JDBC PreparedStatements", paper §2). Statement text follows the reference
+// Java servlets, adapted to this engine's SQL subset:
+//
+//   - the best-sellers and most-recent-order scalar subqueries are split
+//     into a separate MAX() statement plus a parameter (semantics
+//     preserved: "the analysis of the latest 3,333 orders", §5.6);
+//   - related items use the single i_related1 column;
+//   - SELECT * is spelled out where the reference selected long column
+//     lists (identical projection width is what matters for cost).
+type StmtID int
+
+// Statement identifiers.
+const (
+	StGetName StmtID = iota
+	StGetBook
+	StGetCustomer
+	StDoSubjectSearch
+	StDoTitleSearch
+	StDoAuthorSearch
+	StGetNewProducts
+	StGetMaxOrderID
+	StGetBestSellers
+	StGetRelated
+	StAdminUpdate
+	StAdminUpdateRelated
+	StGetUserName
+	StGetPassword
+	StGetMostRecentOrderID
+	StGetMostRecentOrder
+	StGetMostRecentOrderLines
+	StCreateEmptyCart
+	StAddLine
+	StGetCartLine
+	StUpdateLine
+	StDeleteLine
+	StGetCart
+	StResetCartTime
+	StRefreshSession
+	StCreateNewCustomer
+	StGetCDiscount
+	StGetCAddr
+	StEnterCCXact
+	StClearCart
+	StEnterAddress
+	StGetCountryID
+	StEnterOrder
+	StAddOrderLine
+	StGetStock
+	StSetStock
+	StGetLatestOrderID
+	numStatements
+)
+
+// NumStatements is the number of prepared statements in the workload.
+const NumStatements = int(numStatements)
+
+// StatementSQL returns the SQL text for every statement, indexed by StmtID.
+func StatementSQL() []string {
+	s := make([]string, numStatements)
+	s[StGetName] = `SELECT c_fname, c_lname FROM customer WHERE c_id = ?`
+	s[StGetBook] = `SELECT i_id, i_title, i_pub_date, i_publisher, i_subject, i_desc,
+		i_related1, i_thumbnail, i_image, i_srp, i_cost, i_avail, i_stock, i_isbn,
+		i_page, i_backing, i_dimensions, a_fname, a_lname
+		FROM item, author WHERE item.i_a_id = author.a_id AND i_id = ?`
+	s[StGetCustomer] = `SELECT c_id, c_uname, c_passwd, c_fname, c_lname, c_phone,
+		c_email, c_discount, c_balance, addr_street1, addr_city, addr_zip, co_name
+		FROM customer, address, country
+		WHERE customer.c_addr_id = address.addr_id
+		AND address.addr_co_id = country.co_id AND customer.c_uname = ?`
+	s[StDoSubjectSearch] = `SELECT i_id, i_title, i_srp, i_cost, a_fname, a_lname
+		FROM item, author WHERE item.i_a_id = author.a_id AND item.i_subject = ?
+		ORDER BY item.i_title LIMIT 50`
+	s[StDoTitleSearch] = `SELECT i_id, i_title, i_srp, i_cost, a_fname, a_lname
+		FROM item, author WHERE item.i_a_id = author.a_id AND item.i_title LIKE ?
+		ORDER BY item.i_title LIMIT 50`
+	s[StDoAuthorSearch] = `SELECT i_id, i_title, i_srp, i_cost, a_fname, a_lname
+		FROM author, item WHERE author.a_lname LIKE ? AND item.i_a_id = author.a_id
+		ORDER BY item.i_title LIMIT 50`
+	s[StGetNewProducts] = `SELECT i_id, i_title, a_fname, a_lname
+		FROM item, author WHERE item.i_a_id = author.a_id AND item.i_subject = ?
+		ORDER BY item.i_pub_date DESC, item.i_title LIMIT 50`
+	s[StGetMaxOrderID] = `SELECT MAX(o_id) FROM orders`
+	s[StGetBestSellers] = `SELECT i_id, i_title, a_fname, a_lname, SUM(ol_qty) AS val
+		FROM order_line, item, author
+		WHERE order_line.ol_i_id = item.i_id AND item.i_a_id = author.a_id
+		AND order_line.ol_o_id > ? AND item.i_subject = ?
+		GROUP BY i_id, i_title, a_fname, a_lname
+		ORDER BY val DESC LIMIT 50`
+	s[StGetRelated] = `SELECT J.i_id, J.i_title, J.i_thumbnail, J.i_srp
+		FROM item I, item J WHERE I.i_related1 = J.i_id AND I.i_id = ?`
+	s[StAdminUpdate] = `UPDATE item SET i_cost = ?, i_image = ?, i_thumbnail = ?, i_pub_date = ?
+		WHERE i_id = ?`
+	s[StAdminUpdateRelated] = `UPDATE item SET i_related1 = ? WHERE i_id = ?`
+	s[StGetUserName] = `SELECT c_uname FROM customer WHERE c_id = ?`
+	s[StGetPassword] = `SELECT c_passwd FROM customer WHERE c_uname = ?`
+	s[StGetMostRecentOrderID] = `SELECT MAX(o_id) FROM orders WHERE o_c_id = ?`
+	s[StGetMostRecentOrder] = `SELECT o_id, o_c_id, o_date, o_sub_total, o_tax, o_total,
+		o_ship_type, o_ship_date, o_status, c_fname, c_lname,
+		addr_street1, addr_city, addr_zip, co_name
+		FROM orders, customer, address, country
+		WHERE orders.o_c_id = customer.c_id
+		AND orders.o_bill_addr_id = address.addr_id
+		AND address.addr_co_id = country.co_id
+		AND orders.o_id = ?`
+	s[StGetMostRecentOrderLines] = `SELECT ol_i_id, i_title, i_publisher, i_cost,
+		ol_qty, ol_discount, ol_comments
+		FROM order_line, item WHERE order_line.ol_i_id = item.i_id
+		AND order_line.ol_o_id = ?`
+	s[StCreateEmptyCart] = `INSERT INTO shopping_cart (sc_id, sc_time) VALUES (?, ?)`
+	s[StAddLine] = `INSERT INTO shopping_cart_line (scl_sc_id, scl_qty, scl_i_id) VALUES (?, ?, ?)`
+	s[StGetCartLine] = `SELECT scl_qty FROM shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?`
+	s[StUpdateLine] = `UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_sc_id = ? AND scl_i_id = ?`
+	s[StDeleteLine] = `DELETE FROM shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?`
+	s[StGetCart] = `SELECT scl_i_id, scl_qty, i_title, i_cost, i_srp, i_backing
+		FROM shopping_cart_line, item
+		WHERE shopping_cart_line.scl_i_id = item.i_id AND shopping_cart_line.scl_sc_id = ?`
+	s[StResetCartTime] = `UPDATE shopping_cart SET sc_time = ? WHERE sc_id = ?`
+	s[StRefreshSession] = `UPDATE customer SET c_login = ?, c_expiration = ? WHERE c_id = ?`
+	s[StCreateNewCustomer] = `INSERT INTO customer (c_id, c_uname, c_passwd, c_fname,
+		c_lname, c_addr_id, c_phone, c_email, c_since, c_last_login, c_login,
+		c_expiration, c_discount, c_balance, c_ytd_pmt, c_birthdate, c_data)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`
+	s[StGetCDiscount] = `SELECT c_discount FROM customer WHERE c_id = ?`
+	s[StGetCAddr] = `SELECT c_addr_id FROM customer WHERE c_id = ?`
+	s[StEnterCCXact] = `INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name,
+		cx_expire, cx_auth_id, cx_xact_amt, cx_xact_date, cx_co_id)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`
+	s[StClearCart] = `DELETE FROM shopping_cart_line WHERE scl_sc_id = ?`
+	s[StEnterAddress] = `INSERT INTO address (addr_id, addr_street1, addr_street2,
+		addr_city, addr_state, addr_zip, addr_co_id) VALUES (?, ?, ?, ?, ?, ?, ?)`
+	s[StGetCountryID] = `SELECT co_id FROM country WHERE co_name = ?`
+	s[StEnterOrder] = `INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax,
+		o_total, o_ship_type, o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`
+	s[StAddOrderLine] = `INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty,
+		ol_discount, ol_comments) VALUES (?, ?, ?, ?, ?, ?)`
+	s[StGetStock] = `SELECT i_stock FROM item WHERE i_id = ?`
+	s[StSetStock] = `UPDATE item SET i_stock = ? WHERE i_id = ?`
+	s[StGetLatestOrderID] = `SELECT MAX(o_id) FROM orders WHERE o_c_id = ?`
+	return s
+}

@@ -1,0 +1,191 @@
+package tpcw
+
+import (
+	"fmt"
+
+	"shareddb/internal/baseline"
+	"shareddb/internal/core"
+	"shareddb/internal/plan"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// System abstracts a database system under test so the same interaction
+// code drives SharedDB and the query-at-a-time baselines (the paper runs
+// identical TPC-W workloads against SharedDB, MySQL and SystemX).
+type System interface {
+	Name() string
+	Query(id StmtID, params ...types.Value) ([]types.Row, error)
+	Exec(id StmtID, params ...types.Value) (int, error)
+	// ExecTx runs a multi-statement write transaction: fn buffers writes
+	// through the TxSink; the transaction commits when fn returns nil.
+	ExecTx(fn func(tx TxSink) error) error
+	Close()
+}
+
+// TxSink buffers transactional writes.
+type TxSink interface {
+	Exec(id StmtID, params ...types.Value) error
+}
+
+// --- SharedDB adapter ---
+
+// SharedSystem runs the workload on the SharedDB engine.
+type SharedSystem struct {
+	engine *core.Engine
+	stmts  []*plan.Statement
+	db     *storage.Database
+}
+
+// NewSharedSystem builds the always-on global plan for all TPC-W statements
+// (the paper's Figure 6 plan) over db.
+func NewSharedSystem(db *storage.Database, cfg core.Config) (*SharedSystem, error) {
+	gp := plan.New(db)
+	eng := core.New(db, gp, cfg)
+	sys := &SharedSystem{engine: eng, db: db}
+	for id, sqlText := range StatementSQL() {
+		st, err := eng.Prepare(sqlText)
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("tpcw: statement %d: %w", id, err)
+		}
+		sys.stmts = append(sys.stmts, st)
+	}
+	return sys, nil
+}
+
+// Name identifies the system in reports.
+func (s *SharedSystem) Name() string { return "SharedDB" }
+
+// Engine exposes the underlying engine (stats).
+func (s *SharedSystem) Engine() *core.Engine { return s.engine }
+
+// Query runs a read statement.
+func (s *SharedSystem) Query(id StmtID, params ...types.Value) ([]types.Row, error) {
+	res := s.engine.Submit(s.stmts[id], params)
+	if err := res.Wait(); err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// Exec runs a write statement.
+func (s *SharedSystem) Exec(id StmtID, params ...types.Value) (int, error) {
+	res := s.engine.Submit(s.stmts[id], params)
+	if err := res.Wait(); err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+type sharedTx struct {
+	sys *SharedSystem
+	tx  *storage.Tx
+}
+
+func (t *sharedTx) Exec(id StmtID, params ...types.Value) error {
+	wp := t.sys.stmts[id].Write
+	if wp == nil {
+		return fmt.Errorf("tpcw: statement %d is not a write", id)
+	}
+	op, err := core.BindWriteForTx(wp, params)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case storage.WInsert:
+		t.tx.Insert(op.Table, op.Row)
+	case storage.WUpdate:
+		t.tx.Update(op.Table, op.Pred, op.Set)
+	case storage.WDelete:
+		t.tx.Delete(op.Table, op.Pred)
+	}
+	return nil
+}
+
+// ExecTx runs fn's buffered writes as one snapshot-isolated transaction
+// committed in the next generation's update batch.
+func (s *SharedSystem) ExecTx(fn func(tx TxSink) error) error {
+	tx := s.db.Begin()
+	if err := fn(&sharedTx{sys: s, tx: tx}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return s.engine.SubmitTx(tx).Wait()
+}
+
+// Close stops the engine.
+func (s *SharedSystem) Close() { s.engine.Close() }
+
+// --- query-at-a-time adapter ---
+
+// BaselineSystem runs the workload query-at-a-time (MySQLLike or
+// SystemXLike profile).
+type BaselineSystem struct {
+	engine  *baseline.Engine
+	stmts   []*baseline.Stmt
+	db      *storage.Database
+	profile baseline.Profile
+}
+
+// NewBaselineSystem prepares all statements on a query-at-a-time engine.
+func NewBaselineSystem(db *storage.Database, profile baseline.Profile) (*BaselineSystem, error) {
+	eng := baseline.New(db, profile)
+	sys := &BaselineSystem{engine: eng, db: db, profile: profile}
+	for id, sqlText := range StatementSQL() {
+		st, err := eng.Prepare(sqlText)
+		if err != nil {
+			return nil, fmt.Errorf("tpcw: statement %d: %w", id, err)
+		}
+		sys.stmts = append(sys.stmts, st)
+	}
+	return sys, nil
+}
+
+// Name identifies the system in reports.
+func (s *BaselineSystem) Name() string {
+	if s.profile == baseline.MySQLLike {
+		return "MySQL"
+	}
+	return "SystemX"
+}
+
+// Query runs a read statement.
+func (s *BaselineSystem) Query(id StmtID, params ...types.Value) ([]types.Row, error) {
+	res, err := s.stmts[id].Exec(params)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// Exec runs a write statement.
+func (s *BaselineSystem) Exec(id StmtID, params ...types.Value) (int, error) {
+	res, err := s.stmts[id].Exec(params)
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+type baselineTx struct {
+	sys *BaselineSystem
+	tx  *storage.Tx
+}
+
+func (t *baselineTx) Exec(id StmtID, params ...types.Value) error {
+	return t.sys.stmts[id].BufferInTx(t.tx, params)
+}
+
+// ExecTx commits fn's writes immediately (query-at-a-time transactions).
+func (s *BaselineSystem) ExecTx(fn func(tx TxSink) error) error {
+	tx := s.db.Begin()
+	if err := fn(&baselineTx{sys: s, tx: tx}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return s.engine.ExecTx(tx)
+}
+
+// Close is a no-op for the baseline.
+func (s *BaselineSystem) Close() {}

@@ -1,0 +1,309 @@
+package tpcw
+
+import (
+	"testing"
+	"time"
+
+	"shareddb/internal/baseline"
+	"shareddb/internal/core"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+func smallScale() Scale { return Scale{Items: 100, Customers: 80} }
+
+func setupDB(t testing.TB, scale Scale) (*storage.Database, *Generator) {
+	t.Helper()
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Setup(db, scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestSchemaAndLoad(t *testing.T) {
+	db, g := setupDB(t, smallScale())
+	defer db.Close()
+	ts := db.SnapshotTS()
+	counts := map[string]int{
+		"country":  numCountries,
+		"item":     100,
+		"customer": 80,
+		"author":   smallScale().Authors(),
+		"orders":   smallScale().Orders(),
+	}
+	for table, want := range counts {
+		if got := db.Table(table).CountVisible(ts); got != want {
+			t.Errorf("%s rows = %d, want %d", table, got, want)
+		}
+	}
+	if got := db.Table("order_line").CountVisible(ts); got < smallScale().Orders() {
+		t.Errorf("order_line rows = %d, want >= orders", got)
+	}
+	if g.MaxOrderID != int64(smallScale().Orders()) {
+		t.Errorf("MaxOrderID = %d", g.MaxOrderID)
+	}
+	// deterministic: same seed → same data
+	db2, _ := setupDB(t, smallScale())
+	defer db2.Close()
+	row1, _ := db.Table("item").Visible(0, ts)
+	row2, _ := db2.Table("item").Visible(0, db2.SnapshotTS())
+	if row1[1].AsString() != row2[1].AsString() {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestAllStatementsPrepareOnAllSystems(t *testing.T) {
+	db, _ := setupDB(t, smallScale())
+	defer db.Close()
+	shared, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatalf("SharedDB prepare failed: %v", err)
+	}
+	defer shared.Close()
+	if _, err := NewBaselineSystem(db, baseline.SystemXLike); err != nil {
+		t.Fatalf("SystemX prepare failed: %v", err)
+	}
+	if _, err := NewBaselineSystem(db, baseline.MySQLLike); err != nil {
+		t.Fatalf("MySQL prepare failed: %v", err)
+	}
+}
+
+func allSystems(t *testing.T, db *storage.Database) []System {
+	t.Helper()
+	shared, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shared.Close)
+	sx, err := NewBaselineSystem(db, baseline.SystemXLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	my, err := NewBaselineSystem(db, baseline.MySQLLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []System{shared, sx, my}
+}
+
+func TestEveryInteractionOnEverySystem(t *testing.T) {
+	db, g := setupDB(t, smallScale())
+	defer db.Close()
+	ids := NewIDAllocator(g)
+	for _, sys := range allSystems(t, db) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			sess := NewSession(sys, smallScale(), ids, 7)
+			for i := Interaction(0); i < NumInteractions; i++ {
+				if err := sess.Run(i); err != nil {
+					t.Errorf("%s failed: %v", i, err)
+				}
+			}
+			// run the order pipeline twice more: cart → buy → display
+			for round := 0; round < 2; round++ {
+				for _, i := range []Interaction{ShoppingCart, BuyRequest, BuyConfirm, OrderDisplay} {
+					if err := sess.Run(i); err != nil {
+						t.Errorf("round %d %s failed: %v", round, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuyConfirmConsistency verifies transactional integrity: after a
+// purchase, the order exists, its lines match the former cart, and the cart
+// is empty.
+func TestBuyConfirmConsistency(t *testing.T) {
+	db, g := setupDB(t, smallScale())
+	defer db.Close()
+	ids := NewIDAllocator(g)
+	shared, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+
+	sess := NewSession(shared, smallScale(), ids, 99)
+	if err := sess.Run(ShoppingCart); err != nil {
+		t.Fatal(err)
+	}
+	cartID := sess.cartID
+	cart, err := shared.Query(StGetCart, iv(cartID))
+	if err != nil || len(cart) == 0 {
+		t.Fatalf("cart: %v %d", err, len(cart))
+	}
+	beforeMax := ids.order.Load()
+	if err := sess.Run(BuyConfirm); err != nil {
+		t.Fatal(err)
+	}
+	oid := beforeMax + 1
+
+	order, err := shared.Query(StGetMostRecentOrder, iv(oid))
+	if err != nil || len(order) != 1 {
+		t.Fatalf("order lookup: %v, %d rows", err, len(order))
+	}
+	lines, err := shared.Query(StGetMostRecentOrderLines, iv(oid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(cart) {
+		t.Errorf("order lines = %d, cart had %d", len(lines), len(cart))
+	}
+	after, err := shared.Query(StGetCart, iv(cartID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 0 {
+		t.Errorf("cart not cleared: %d lines", len(after))
+	}
+}
+
+// TestSharedVsBaselineInteractionResults compares read-only interaction
+// queries across engines on identical data.
+func TestSharedVsBaselineInteractionResults(t *testing.T) {
+	db, _ := setupDB(t, smallScale())
+	defer db.Close()
+	shared, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	sx, err := NewBaselineSystem(db, baseline.SystemXLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checks := []struct {
+		id     StmtID
+		params []types.Value
+	}{
+		{StGetName, []types.Value{iv(5)}},
+		{StGetBook, []types.Value{iv(17)}},
+		{StGetCustomer, []types.Value{sv("user000003")}},
+		{StDoSubjectSearch, []types.Value{sv("ARTS")}},
+		{StGetNewProducts, []types.Value{sv("HISTORY")}},
+		{StGetBestSellers, []types.Value{iv(0), sv("COOKING")}},
+		{StGetRelated, []types.Value{iv(9)}},
+		{StGetMaxOrderID, nil},
+		{StGetMostRecentOrderLines, []types.Value{iv(3)}},
+	}
+	for _, c := range checks {
+		a, err := shared.Query(c.id, c.params...)
+		if err != nil {
+			t.Fatalf("shared stmt %d: %v", c.id, err)
+		}
+		b, err := sx.Query(c.id, c.params...)
+		if err != nil {
+			t.Fatalf("baseline stmt %d: %v", c.id, err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("stmt %d: shared %d rows, baseline %d rows", c.id, len(a), len(b))
+		}
+	}
+}
+
+func TestDriverShortRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver run")
+	}
+	db, g := setupDB(t, smallScale())
+	defer db.Close()
+	shared, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	ids := NewIDAllocator(g)
+
+	for _, mix := range []Mix{Browsing, Shopping, Ordering} {
+		m := RunDriver(shared, smallScale(), ids, DriverConfig{
+			EBs: 8, Duration: 300 * time.Millisecond,
+			ThinkTime: time.Millisecond, Mix: mix, Only: -1, Seed: 1,
+		})
+		if m.Total == 0 {
+			t.Errorf("%s: no interactions completed", mix)
+		}
+		if m.Errors > 0 {
+			t.Errorf("%s: %d errors of %d", mix, m.Errors, m.Total)
+		}
+		if m.WIPS() <= 0 {
+			t.Errorf("%s: WIPS = %v", mix, m.WIPS())
+		}
+	}
+}
+
+func TestDriverSingleInteraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver run")
+	}
+	db, g := setupDB(t, smallScale())
+	defer db.Close()
+	shared, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	ids := NewIDAllocator(g)
+	m := RunDriver(shared, smallScale(), ids, DriverConfig{
+		EBs: 4, Duration: 200 * time.Millisecond, ThinkTime: 0,
+		Mix: Shopping, Only: BestSellers, Seed: 3,
+	})
+	if m.ByInter[BestSellers] != m.Total || m.Total == 0 {
+		t.Errorf("single-interaction run: %d/%d", m.ByInter[BestSellers], m.Total)
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	for _, mix := range []Mix{Browsing, Shopping, Ordering} {
+		w := mix.Weights()
+		sum := 0.0
+		for _, x := range w {
+			if x < 0 {
+				t.Errorf("%s: negative weight", mix)
+			}
+			sum += x
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s weights sum to %.2f, want ~100", mix, sum)
+		}
+	}
+	// browsing is search-heavy; ordering is buy-heavy
+	b, o := Browsing.Weights(), Ordering.Weights()
+	if b[BestSellers] <= o[BestSellers] {
+		t.Error("browsing should have more best-sellers")
+	}
+	if o[BuyConfirm] <= b[BuyConfirm] {
+		t.Error("ordering should have more buy-confirms")
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	if got := OfferedLoad(700, 7*time.Second); got != 100 {
+		t.Errorf("OfferedLoad = %v", got)
+	}
+}
+
+func TestInteractionMetadata(t *testing.T) {
+	if NumInteractions != 14 {
+		t.Errorf("interactions = %d", NumInteractions)
+	}
+	seen := map[string]bool{}
+	for i := Interaction(0); i < NumInteractions; i++ {
+		name := i.String()
+		if seen[name] {
+			t.Errorf("duplicate name %s", name)
+		}
+		seen[name] = true
+		if i.Timeout() <= 0 {
+			t.Errorf("%s has no timeout", name)
+		}
+	}
+	if AdminConfirm.Timeout() != 20*time.Second {
+		t.Error("AdminConfirm timeout should be the long one")
+	}
+}

@@ -1,0 +1,275 @@
+// Package types defines the value, tuple and schema model shared by the
+// storage manager, the shared operators and the SQL front-end.
+//
+// Values are small immutable scalars. The struct contains only comparable
+// fields so a Value can be used directly as a Go map key, which the hash
+// join and group-by operators rely on.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime // stored as Unix nanoseconds, UTC
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOL"
+	case KindTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed scalar. The zero Value is NULL.
+//
+// Int doubles as the representation for BOOL (0/1) and TIME (Unix nanos);
+// this keeps the struct comparable and small.
+type Value struct {
+	K     Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{K: KindInt, Int: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{K: KindFloat, Float: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{K: KindString, Str: v} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{K: KindBool, Int: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// NewTime returns a TIMESTAMP value (UTC, nanosecond precision).
+func NewTime(t time.Time) Value { return Value{K: KindTime, Int: t.UnixNano()} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.K }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsInt returns the value as an int64. FLOATs are truncated, BOOLs map to
+// 0/1, and all other kinds return 0.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindBool, KindTime:
+		return v.Int
+	case KindFloat:
+		return int64(v.Float)
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as a float64 (0 for non-numeric kinds).
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindFloat:
+		return v.Float
+	case KindInt, KindBool, KindTime:
+		return float64(v.Int)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the value as a string, formatting non-string kinds.
+func (v Value) AsString() string {
+	if v.K == KindString {
+		return v.Str
+	}
+	return v.String()
+}
+
+// AsBool returns the truthiness of the value.
+func (v Value) AsBool() bool {
+	switch v.K {
+	case KindBool, KindInt, KindTime:
+		return v.Int != 0
+	case KindFloat:
+		return v.Float != 0
+	case KindString:
+		return v.Str != ""
+	default:
+		return false
+	}
+}
+
+// AsTime returns the value as a time.Time (zero time for non-time kinds).
+func (v Value) AsTime() time.Time {
+	if v.K != KindTime {
+		return time.Time{}
+	}
+	return time.Unix(0, v.Int).UTC()
+}
+
+// String renders the value for display and debugging.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return v.Str
+	case KindBool:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	case KindTime:
+		return v.AsTime().Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.K))
+	}
+}
+
+// numericKind reports whether k participates in numeric coercion.
+func numericKind(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindBool || k == KindTime
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before every non-NULL value. INT/FLOAT/BOOL/TIME compare
+// numerically with coercion; strings compare lexicographically. Values of
+// incomparable kinds order by kind tag so that sorting is always total.
+func (v Value) Compare(o Value) int {
+	if v.K == KindNull || o.K == KindNull {
+		switch {
+		case v.K == o.K:
+			return 0
+		case v.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKind(v.K) && numericKind(o.K) {
+		if v.K == KindFloat || o.K == KindFloat {
+			a, b := v.AsFloat(), o.AsFloat()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, b := v.Int, o.Int
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.K == KindString && o.K == KindString {
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Incomparable kinds: fall back to kind ordering for a total order.
+	switch {
+	case v.K < o.K:
+		return -1
+	case v.K > o.K:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal (with numeric coercion).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Hash returns a 64-bit hash of the value, consistent with Equal for values
+// of the same kind family (numeric values hash by their float64 image when
+// either side could be FLOAT; the engine only mixes kinds via coercion in
+// comparisons, hash tables are built per-column so kinds are homogeneous).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.K {
+	case KindNull:
+		mix(0)
+	case KindInt, KindBool, KindTime:
+		u := uint64(v.Int)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindFloat:
+		// Hash integral floats like the equal INT so coerced equality
+		// keeps hash consistency.
+		if f := v.Float; f == math.Trunc(f) && !math.IsInf(f, 0) {
+			u := uint64(int64(f))
+			for i := 0; i < 8; i++ {
+				mix(byte(u >> (8 * i)))
+			}
+		} else {
+			u := math.Float64bits(v.Float)
+			for i := 0; i < 8; i++ {
+				mix(byte(u >> (8 * i)))
+			}
+		}
+	case KindString:
+		for i := 0; i < len(v.Str); i++ {
+			mix(v.Str[i])
+		}
+	}
+	return h
+}

@@ -1,0 +1,384 @@
+// Package shareddb is a main-memory relational database engine built around
+// batched, shared query execution — a from-scratch reproduction of
+// "SharedDB: Killing One Thousand Queries With One Stone" (Giannikis,
+// Alonso, Kossmann; VLDB 2012).
+//
+// Instead of planning and running each query separately, SharedDB compiles
+// the whole workload into a single always-on global plan of shared
+// operators. Queries and updates are batched into generations; one big
+// join/sort/group per generation serves every concurrent query, and results
+// are routed back through set-valued query-id annotations (the data-query
+// model). Work per generation is bounded by data size — not by the number
+// of concurrent queries — which is what gives SharedDB robust latency under
+// extreme load.
+//
+// Basic usage:
+//
+//	db, _ := shareddb.Open(shareddb.Config{})
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE users (id INT, name VARCHAR, PRIMARY KEY (id))`)
+//	db.Exec(`INSERT INTO users VALUES (1, 'Ada')`)
+//	stmt, _ := db.Prepare(`SELECT name FROM users WHERE id = ?`)
+//	rows, _ := stmt.Query(1)
+//	for rows.Next() {
+//	    var name string
+//	    rows.Scan(&name)
+//	}
+package shareddb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"shareddb/internal/core"
+	"shareddb/internal/plan"
+	"shareddb/internal/sql"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// Config tunes a DB instance.
+type Config struct {
+	// Heartbeat is the minimum spacing between execution generations
+	// (paper §3.2). Zero runs back-to-back generations: lowest latency,
+	// batches form naturally from concurrent arrivals.
+	Heartbeat time.Duration
+	// MaxBatch caps requests per generation (0 = unlimited).
+	MaxBatch int
+	// WALDir enables durability (write-ahead log + checkpoints).
+	WALDir string
+	// SyncWAL fsyncs the log on every commit batch.
+	SyncWAL bool
+}
+
+// DB is a SharedDB database handle. It is safe for concurrent use.
+type DB struct {
+	store  *storage.Database
+	plan   *plan.GlobalPlan
+	engine *core.Engine
+}
+
+// Open creates a new database.
+func Open(cfg Config) (*DB, error) {
+	store, err := storage.Open(storage.Options{WALDir: cfg.WALDir, SyncWAL: cfg.SyncWAL})
+	if err != nil {
+		return nil, err
+	}
+	gp := plan.New(store)
+	eng := core.New(store, gp, core.Config{Heartbeat: cfg.Heartbeat, MaxBatch: cfg.MaxBatch})
+	return &DB{store: store, plan: gp, engine: eng}, nil
+}
+
+// Close stops the engine and releases storage resources.
+func (db *DB) Close() error {
+	db.engine.Close()
+	return db.store.Close()
+}
+
+// Storage exposes the underlying storage manager (checkpointing, recovery,
+// direct table access for bulk loading).
+func (db *DB) Storage() *storage.Database { return db.store }
+
+// Engine exposes the execution engine (statistics, transaction submission).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// DescribePlan renders the current global operator plan.
+func (db *DB) DescribePlan() string { return db.plan.Describe() }
+
+// Result reports the outcome of a write.
+type Result struct {
+	RowsAffected int
+}
+
+// Exec runs a statement outside the prepared path. DDL (CREATE TABLE /
+// CREATE INDEX) applies immediately; reads and writes are enqueued for the
+// next generation and waited on.
+func (db *DB) Exec(sqlText string, args ...interface{}) (Result, error) {
+	ast, err := sql.Parse(sqlText)
+	if err != nil {
+		return Result{}, err
+	}
+	switch s := ast.(type) {
+	case *sql.CreateTableStmt:
+		return Result{}, db.createTable(s)
+	case *sql.CreateIndexStmt:
+		return Result{}, db.createIndex(s)
+	}
+	stmt, err := db.Prepare(sqlText)
+	if err != nil {
+		return Result{}, err
+	}
+	return stmt.Exec(args...)
+}
+
+func (db *DB) createTable(s *sql.CreateTableStmt) error {
+	cols := make([]types.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = types.Column{Qualifier: s.Table, Name: c.Name, Kind: c.Kind}
+	}
+	t, err := db.store.CreateTable(s.Table, types.NewSchema(cols...))
+	if err != nil {
+		return err
+	}
+	if len(s.Primary) > 0 {
+		if _, err := t.SetPrimaryKey(s.Primary...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) createIndex(s *sql.CreateIndexStmt) error {
+	t := db.store.Table(s.Table)
+	if t == nil {
+		return fmt.Errorf("shareddb: unknown table %q", s.Table)
+	}
+	_, err := t.AddIndex(s.Name, s.Unique, s.Columns...)
+	return err
+}
+
+// Stmt is a prepared statement registered in the global plan. Statements
+// are the unit of sharing: every concurrent activation of every statement
+// with a matching shape runs on the same shared operators.
+type Stmt struct {
+	db   *DB
+	stmt *plan.Statement
+}
+
+// Prepare registers a statement. Like JDBC PreparedStatements in the
+// paper's TPC-W setup, statements are typically prepared once at startup;
+// preparing at runtime is the ad-hoc query path.
+func (db *DB) Prepare(sqlText string) (*Stmt, error) {
+	ps, err := db.engine.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, stmt: ps}, nil
+}
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.stmt.SQL }
+
+// Query enqueues a read for the next generation and blocks for its results.
+func (s *Stmt) Query(args ...interface{}) (*Rows, error) {
+	if s.stmt.IsWrite() {
+		return nil, errors.New("shareddb: Query on a write statement")
+	}
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res := s.db.engine.Submit(s.stmt, params)
+	if err := res.Wait(); err != nil {
+		return nil, err
+	}
+	return &Rows{schema: res.Schema, rows: res.Rows, pos: -1}, nil
+}
+
+// Exec enqueues a write for the next generation and blocks for its outcome.
+func (s *Stmt) Exec(args ...interface{}) (Result, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return Result{}, err
+	}
+	res := s.db.engine.Submit(s.stmt, params)
+	if err := res.Wait(); err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: res.RowsAffected}, nil
+}
+
+// Query is the ad-hoc path: the statement joins the global plan (sharing
+// whatever operators match) and runs once.
+func (db *DB) Query(sqlText string, args ...interface{}) (*Rows, error) {
+	stmt, err := db.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(args...)
+}
+
+// Rows is a materialized, iterable result set.
+type Rows struct {
+	schema *types.Schema
+	rows   []types.Row
+	pos    int
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string {
+	out := make([]string, r.schema.Len())
+	for i, c := range r.schema.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Next advances the cursor; it must be called before the first Scan.
+func (r *Rows) Next() bool {
+	r.pos++
+	return r.pos < len(r.rows)
+}
+
+// Row returns the current row's raw values.
+func (r *Rows) Row() types.Row {
+	if r.pos < 0 || r.pos >= len(r.rows) {
+		return nil
+	}
+	return r.rows[r.pos]
+}
+
+// All returns every row.
+func (r *Rows) All() []types.Row { return r.rows }
+
+// Scan copies the current row into dest pointers (*int64, *int, *float64,
+// *string, *bool, *time.Time or *types.Value).
+func (r *Rows) Scan(dest ...interface{}) error {
+	row := r.Row()
+	if row == nil {
+		return errors.New("shareddb: Scan without Next")
+	}
+	if len(dest) > len(row) {
+		return fmt.Errorf("shareddb: Scan wants %d values, row has %d", len(dest), len(row))
+	}
+	for i, d := range dest {
+		v := row[i]
+		switch p := d.(type) {
+		case *int64:
+			*p = v.AsInt()
+		case *int:
+			*p = int(v.AsInt())
+		case *float64:
+			*p = v.AsFloat()
+		case *string:
+			*p = v.AsString()
+		case *bool:
+			*p = v.AsBool()
+		case *time.Time:
+			*p = v.AsTime()
+		case *types.Value:
+			*p = v
+		default:
+			return fmt.Errorf("shareddb: unsupported Scan destination %T", d)
+		}
+	}
+	return nil
+}
+
+// Tx is a snapshot-isolated write transaction. Reads issued while the
+// transaction is open run as ordinary statements at the latest snapshot
+// (read committed — the isolation TPC-W requires, §5.2); buffered writes
+// apply atomically at Commit in the next generation's update batch.
+type Tx struct {
+	db   *DB
+	tx   *storage.Tx
+	done bool
+}
+
+// Begin opens a transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, tx: db.store.Begin()}
+}
+
+// Exec buffers a write statement in the transaction.
+func (tx *Tx) Exec(sqlText string, args ...interface{}) error {
+	if tx.done {
+		return storage.ErrTxDone
+	}
+	ast, err := sql.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	bound, err := sql.PlanStatement(ast, planCatalog{tx.db.store})
+	if err != nil {
+		return err
+	}
+	wp, ok := bound.(*sql.WritePlan)
+	if !ok {
+		return errors.New("shareddb: only writes may run inside Tx.Exec")
+	}
+	params, err := toValues(args)
+	if err != nil {
+		return err
+	}
+	op, err := core.BindWriteForTx(wp, params)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case storage.WInsert:
+		tx.tx.Insert(op.Table, op.Row)
+	case storage.WUpdate:
+		tx.tx.Update(op.Table, op.Pred, op.Set)
+	case storage.WDelete:
+		tx.tx.Delete(op.Table, op.Pred)
+	}
+	return nil
+}
+
+// Commit submits the transaction to the next generation's update batch and
+// waits. Snapshot-isolation conflicts surface as storage.ErrConflict.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return storage.ErrTxDone
+	}
+	tx.done = true
+	return tx.db.engine.SubmitTx(tx.tx).Wait()
+}
+
+// Rollback abandons the transaction.
+func (tx *Tx) Rollback() {
+	tx.done = true
+	tx.tx.Rollback()
+}
+
+type planCatalog struct{ db *storage.Database }
+
+func (c planCatalog) TableSchema(name string) (*types.Schema, bool) {
+	t := c.db.Table(name)
+	if t == nil {
+		return nil, false
+	}
+	return t.Schema(), true
+}
+
+// toValues converts Go values to engine values.
+func toValues(args []interface{}) ([]types.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]types.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = types.Null
+		case int:
+			out[i] = types.NewInt(int64(v))
+		case int32:
+			out[i] = types.NewInt(int64(v))
+		case int64:
+			out[i] = types.NewInt(v)
+		case uint64:
+			out[i] = types.NewInt(int64(v))
+		case float64:
+			out[i] = types.NewFloat(v)
+		case float32:
+			out[i] = types.NewFloat(float64(v))
+		case string:
+			out[i] = types.NewString(v)
+		case bool:
+			out[i] = types.NewBool(v)
+		case time.Time:
+			out[i] = types.NewTime(v)
+		case types.Value:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("shareddb: unsupported parameter type %T", a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package shareddb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"shareddb/internal/storage"
+)
+
+func openTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	mustExec := func(sqlText string, args ...interface{}) {
+		if _, err := db.Exec(sqlText, args...); err != nil {
+			t.Fatalf("Exec(%q): %v", sqlText, err)
+		}
+	}
+	mustExec(`CREATE TABLE users (id INT, name VARCHAR(40), country VARCHAR(2),
+		account FLOAT, active BOOL, created TIMESTAMP, PRIMARY KEY (id))`)
+	mustExec(`CREATE INDEX users_country ON users (country)`)
+	now := time.Date(2012, 8, 27, 0, 0, 0, 0, time.UTC)
+	for i, u := range []struct {
+		name, country string
+		account       float64
+	}{
+		{"ada", "CH", 1000}, {"bob", "DE", 250}, {"eve", "CH", 75},
+		{"mallory", "US", 3000}, {"trent", "DE", 10},
+	} {
+		mustExec(`INSERT INTO users VALUES (?, ?, ?, ?, ?, ?)`,
+			i+1, u.name, u.country, u.account, true, now)
+	}
+	return db
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := openTestDB(t)
+	stmt, err := db.Prepare(`SELECT name, account FROM users WHERE country = ? ORDER BY account DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Query("CH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	var name string
+	var account float64
+	if !rows.Next() {
+		t.Fatal("Next failed")
+	}
+	if err := rows.Scan(&name, &account); err != nil {
+		t.Fatal(err)
+	}
+	if name != "ada" || account != 1000 {
+		t.Errorf("first row = %s/%v", name, account)
+	}
+	cols := rows.Columns()
+	if cols[0] != "name" || cols[1] != "account" {
+		t.Errorf("columns = %v", cols)
+	}
+}
+
+func TestAdhocQuery(t *testing.T) {
+	db := openTestDB(t)
+	rows, err := db.Query(`SELECT COUNT(*), SUM(account) FROM users WHERE account > ?`, 50.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	var sum float64
+	if err := rows.Scan(&n, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || sum != 4325 {
+		t.Errorf("count=%d sum=%v", n, sum)
+	}
+}
+
+func TestExecWriteAndReadBack(t *testing.T) {
+	db := openTestDB(t)
+	res, err := db.Exec(`UPDATE users SET account = account + ? WHERE country = ?`, 100.0, "DE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Errorf("affected = %d", res.RowsAffected)
+	}
+	rows, err := db.Query(`SELECT account FROM users WHERE name = ?`, "trent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var acct float64
+	rows.Scan(&acct)
+	if acct != 110 {
+		t.Errorf("account = %v", acct)
+	}
+}
+
+func TestTransactionAPI(t *testing.T) {
+	db := openTestDB(t)
+	tx := db.Begin()
+	if err := tx.Exec(`INSERT INTO users VALUES (?, ?, ?, ?, ?, ?)`,
+		100, "zoe", "FR", 5.0, true, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Exec(`UPDATE users SET account = ? WHERE id = ?`, 42.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Query(`SELECT COUNT(*) FROM users`)
+	rows.Next()
+	var n int64
+	rows.Scan(&n)
+	if n != 6 {
+		t.Errorf("count = %d", n)
+	}
+	// reads inside Tx.Exec rejected
+	tx2 := db.Begin()
+	if err := tx2.Exec(`SELECT * FROM users`); err == nil {
+		t.Error("read inside tx should fail")
+	}
+	tx2.Rollback()
+	if err := tx2.Commit(); !errors.Is(err, storage.ErrTxDone) {
+		t.Errorf("commit after rollback: %v", err)
+	}
+}
+
+func TestTxConflictSurfaces(t *testing.T) {
+	db := openTestDB(t)
+	tx1, tx2 := db.Begin(), db.Begin()
+	if err := tx1.Exec(`UPDATE users SET account = ? WHERE id = ?`, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Exec(`UPDATE users SET account = ? WHERE id = ?`, 2.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, storage.ErrConflict) {
+		t.Errorf("want conflict, got %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db := openTestDB(t)
+	stmt, err := db.Prepare(`SELECT name FROM users WHERE country = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			country := []string{"CH", "DE", "US"}[i%3]
+			want := map[string]int{"CH": 2, "DE": 2, "US": 1}[country]
+			for j := 0; j < 10; j++ {
+				rows, err := stmt.Query(country)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rows.Len() != want {
+					t.Errorf("%s: %d rows, want %d", country, rows.Len(), want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	gens, queries, _ := db.Engine().Stats()
+	if queries != 320 {
+		t.Errorf("queries = %d", queries)
+	}
+	if gens >= queries {
+		t.Errorf("expected batching: %d generations for %d queries", gens, queries)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	db := openTestDB(t)
+	if _, err := db.Prepare("SELECT * FROM missing"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := db.Prepare("NOT SQL AT ALL"); err == nil {
+		t.Error("parse failure expected")
+	}
+	if _, err := db.Exec("CREATE TABLE users (id INT)"); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := db.Exec("CREATE INDEX ix ON missing (x)"); err == nil {
+		t.Error("index on missing table should fail")
+	}
+	stmt, _ := db.Prepare("INSERT INTO users (id, name) VALUES (?, ?)")
+	if _, err := stmt.Query(1, "x"); err == nil {
+		t.Error("Query on write statement should fail")
+	}
+	if _, err := db.Query("SELECT id FROM users WHERE id = ?", struct{}{}); err == nil {
+		t.Error("bad param type should fail")
+	}
+	rows, _ := db.Query("SELECT id, name FROM users WHERE id = ?", 1)
+	var x chan int
+	rows.Next()
+	if err := rows.Scan(&x); err == nil {
+		t.Error("bad scan dest should fail")
+	}
+	var a, b, c int64
+	if err := rows.Scan(&a, &b, &c); err == nil {
+		t.Error("too many scan dests should fail")
+	}
+}
+
+func TestScanTypes(t *testing.T) {
+	db := openTestDB(t)
+	rows, err := db.Query(`SELECT id, name, account, active, created FROM users WHERE id = ?`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var (
+		id      int
+		name    string
+		account float64
+		active  bool
+		created time.Time
+	)
+	if err := rows.Scan(&id, &name, &account, &active, &created); err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || name != "ada" || account != 1000 || !active || created.Year() != 2012 {
+		t.Errorf("scanned %v %v %v %v %v", id, name, account, active, created)
+	}
+}
+
+func TestDurabilityThroughPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE kv (k INT, v VARCHAR, PRIMARY KEY (k))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES (?, ?)`, 1, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Storage().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES (?, ?)`, 2, "two"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(Config{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec(`CREATE TABLE kv (k INT, v VARCHAR, PRIMARY KEY (k))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Storage().Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db2.Query(`SELECT v FROM kv WHERE k = ?`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("recovered rows = %d", rows.Len())
+	}
+}
+
+func TestHeartbeatConfig(t *testing.T) {
+	db, err := Open(Config{Heartbeat: 5 * time.Millisecond, MaxBatch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, PRIMARY KEY (a))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`SELECT a FROM t`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("heartbeat query: %v, %d rows", err, rows.Len())
+	}
+}
