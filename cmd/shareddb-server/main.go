@@ -28,9 +28,10 @@ import (
 func main() {
 	listen := flag.String("listen", ":5843", "listen address")
 	wal := flag.String("wal", "", "WAL directory (empty = no durability)")
+	pipeline := flag.Int("pipeline", 0, "max generations in flight (0 = engine default, 1 = serial, negative clamps to serial)")
 	flag.Parse()
 
-	db, err := shareddb.Open(shareddb.Config{WALDir: *wal})
+	db, err := shareddb.Open(shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module shareddb
+
+go 1.22

@@ -131,12 +131,24 @@ func (s *Stmt) Exec(params []types.Value) (Result, error) {
 		results, _ := e.db.ApplyOps([]storage.WriteOp{op})
 		return Result{RowsAffected: results[0].RowsAffected}, results[0].Err
 	}
-	ts := e.db.SnapshotTS()
-	rows, err := e.execPlan(s.selectLP, params, ts)
-	if err != nil {
-		return Result{}, err
+	return s.ExecAt(params, e.db.SnapshotTS())
+}
+
+// ExecAt runs a read statement at an explicit snapshot timestamp. MVCC
+// version history is immutable (absent GC), so executing at a past snapshot
+// reproduces exactly the state a concurrent reader saw there — this is what
+// lets differential tests check the shared engine's pipelined generations,
+// each of which reads at its own snapshot, against the query-at-a-time
+// model after the fact.
+func (s *Stmt) ExecAt(params []types.Value, ts uint64) (Result, error) {
+	if s.write == nil {
+		rows, err := s.engine.execPlan(s.selectLP, params, ts)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Rows: rows}, nil
 	}
-	return Result{Rows: rows}, nil
+	return Result{}, fmt.Errorf("baseline: ExecAt requires a read statement, got %q", s.SQL)
 }
 
 // BufferInTx buffers this write statement's bound operation into tx,

@@ -42,32 +42,17 @@ func (e *Engine) execScan(scan *sql.Scan, params []types.Value, ts uint64) ([]ty
 			bestIx, bestLen = ix, n
 		}
 	}
+	// Index traversals go through the storage layer's locked helpers
+	// (IndexSeekAt / IndexScanAt): baseline reads run concurrently with
+	// writes — and with the shared engine's pipelined write phases — so
+	// trees and version chains cannot be walked lock-free.
 	var out []types.Row
 	if bestLen > 0 {
 		key := make(btree.Key, bestLen)
 		for i := 0; i < bestLen; i++ {
 			key[i] = eq[bestIx.Cols[i]]
 		}
-		seen := map[storage.RowID]bool{}
-		bestIx.Tree().SeekEQ(key, func(rid uint64) bool {
-			if seen[rid] {
-				return true
-			}
-			row, ok := t.Visible(rid, ts)
-			if !ok {
-				return true
-			}
-			match := true
-			for i := range key {
-				if !row[bestIx.Cols[i]].Equal(key[i]) {
-					match = false
-					break
-				}
-			}
-			if !match {
-				return true
-			}
-			seen[rid] = true
+		t.IndexSeekAt(bestIx, key, ts, func(_ storage.RowID, row types.Row) bool {
 			if expr.TruthyEval(bound, row, nil) {
 				out = append(out, row)
 			}
@@ -97,16 +82,7 @@ func (e *Engine) execScan(scan *sql.Scan, params []types.Value, ts uint64) ([]ty
 		if !found {
 			continue
 		}
-		seen := map[storage.RowID]bool{}
-		ix.Tree().Scan(lo, hi, loIncl, hiIncl, func(_ btree.Key, rid uint64) bool {
-			if seen[rid] {
-				return true
-			}
-			row, ok := t.Visible(rid, ts)
-			if !ok {
-				return true
-			}
-			seen[rid] = true
+		t.IndexScanAt(ix, lo, hi, loIncl, hiIncl, ts, func(_ storage.RowID, row types.Row) bool {
 			if expr.TruthyEval(bound, row, nil) {
 				out = append(out, row)
 			}
@@ -145,16 +121,7 @@ func (e *Engine) execJoin(j *sql.Join, params []types.Value, ts uint64) ([]types
 					for i, c := range j.LeftKeys {
 						key[i] = lrow[c]
 					}
-					ix.Tree().SeekEQ(key, func(rid uint64) bool {
-						irow, visible := t.Visible(rid, ts)
-						if !visible {
-							return true
-						}
-						for i := range key {
-							if !irow[ix.Cols[i]].Equal(key[i]) {
-								return true
-							}
-						}
+					t.IndexSeekAt(ix, key, ts, func(_ storage.RowID, irow types.Row) bool {
 						if expr.TruthyEval(innerPred, irow, nil) {
 							joined := lrow.Concat(irow)
 							if j.Residual == nil || expr.TruthyEval(j.Residual, joined, params) {

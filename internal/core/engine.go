@@ -10,11 +10,23 @@
 // a new snapshot is published (Crescando semantics), (2) the batch's reads
 // run together through the always-on global plan at that snapshot, (3)
 // results are routed back to the waiting clients.
+//
+// Generations pipeline (§3.1, §4): the throughput claim — work per
+// generation bounded by data size, not query count — only pays off while
+// the always-on plan stays busy, so the engine admits up to
+// Config.MaxInFlightGenerations generations concurrently instead of
+// blocking on each one. Write phases stay serialized in generation order on
+// the dispatcher goroutine (generation N+1's writes never apply before
+// generation N's), each generation's reads run at the snapshot published
+// after its own writes, and query-id routing is generation-scoped end to
+// end, so overlapping read phases of distinct generations never observe
+// each other's tuples.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +39,10 @@ import (
 	"shareddb/internal/types"
 )
 
+// DefaultMaxInFlightGenerations is the pipeline depth used when
+// Config.MaxInFlightGenerations is zero.
+const DefaultMaxInFlightGenerations = 4
+
 // Config tunes the engine.
 type Config struct {
 	// Heartbeat is the minimum spacing between generation starts. Zero
@@ -37,6 +53,13 @@ type Config struct {
 	// MaxBatch caps the number of requests drained into one generation
 	// (0 = unlimited).
 	MaxBatch int
+	// MaxInFlightGenerations bounds how many generations may execute
+	// concurrently. 1 restores strictly serial generations (the classic
+	// generation barrier); 0 selects DefaultMaxInFlightGenerations;
+	// negative values clamp to 1 (the conservative reading of "less than
+	// serial"). Write phases always apply in generation order regardless
+	// of this setting; only read phases overlap.
+	MaxInFlightGenerations int
 }
 
 // Engine drives generations over a storage database and a global plan.
@@ -50,14 +73,13 @@ type Engine struct {
 	pending []*Request
 	stopped bool
 	gen     uint64
-	idle    bool
 
-	// genMu serializes generation execution against plan mutation:
-	// Prepare extends the operator DAG, which must not happen while a
-	// generation is traversing it.
-	genMu sync.Mutex
-
-	loopDone chan struct{}
+	// pipeline state, guarded by mu
+	maxInFlight  int // resolved MaxInFlightGenerations
+	inFlight     int // generations dispatched but not yet complete
+	peakInFlight int // high-water mark of inFlight
+	preparers    int // Prepare calls waiting for / holding plan quiescence
+	loopDone     chan struct{}
 
 	// stats
 	generations uint64
@@ -84,6 +106,11 @@ type Result struct {
 	RowsAffected int
 	Err          error
 
+	// SnapshotTS is the storage snapshot the request executed at: the
+	// post-write snapshot of its generation for reads, the published commit
+	// timestamp for writes.
+	SnapshotTS uint64
+
 	distinctSeen map[string]bool
 }
 
@@ -100,14 +127,21 @@ func (r *Result) Done() <-chan struct{} { return r.done }
 // loop and the plan's operator goroutines.
 func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 	e := &Engine{db: db, plan: gp, cfg: cfg, loopDone: make(chan struct{})}
+	e.maxInFlight = cfg.MaxInFlightGenerations
+	if e.maxInFlight == 0 {
+		e.maxInFlight = DefaultMaxInFlightGenerations
+	} else if e.maxInFlight < 0 {
+		e.maxInFlight = 1
+	}
 	e.cond = sync.NewCond(&e.mu)
 	gp.Start()
 	go e.loop()
 	return e
 }
 
-// Close stops the heartbeat loop and the operator goroutines. Pending
-// requests are failed.
+// Close stops the heartbeat loop, waits for in-flight generations to drain
+// (their waiters receive real results), and stops the operator goroutines.
+// Pending requests that never made it into a generation are failed.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.stopped {
@@ -119,12 +153,23 @@ func (e *Engine) Close() {
 	e.pending = nil
 	e.cond.Broadcast()
 	e.mu.Unlock()
-	for _, r := range pending {
+	failRequests(pending)
+	<-e.loopDone
+	// Wait out in-flight generations AND preparers: stopping the operator
+	// goroutines while either is touching the plan would strand them.
+	e.mu.Lock()
+	for e.inFlight > 0 || e.preparers > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+	e.plan.Stop()
+}
+
+func failRequests(reqs []*Request) {
+	for _, r := range reqs {
 		r.Result.Err = errors.New("core: engine closed")
 		close(r.Result.done)
 	}
-	<-e.loopDone
-	e.plan.Stop()
 }
 
 // Stats reports engine counters: generations run, queries served, writes
@@ -133,6 +178,16 @@ func (e *Engine) Stats() (generations, queries, writes uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.generations, e.queriesRun, e.writesRun
+}
+
+// InFlightGenerations reports the pipeline gauge: how many generations are
+// currently dispatched but not yet complete, and the peak observed since
+// the engine started. peak > 1 is the observable signature of pipelined
+// execution (it stays at 1 when MaxInFlightGenerations is 1).
+func (e *Engine) InFlightGenerations() (current, peak int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inFlight, e.peakInFlight
 }
 
 // Database returns the underlying storage.
@@ -164,38 +219,45 @@ func (e *Engine) enqueue(req *Request) {
 		return
 	}
 	e.pending = append(e.pending, req)
-	e.cond.Signal()
+	e.cond.Broadcast()
 	e.mu.Unlock()
 }
 
-// loop is the heartbeat: drain the queue, run one generation, repeat.
+// loop is the heartbeat dispatcher: drain the queue, apply the generation's
+// writes in order, launch its read phase, and — unlike the serial engine —
+// move straight on to the next generation while up to maxInFlight read
+// phases overlap in the always-on plan.
 func (e *Engine) loop() {
 	defer close(e.loopDone)
 	lastStart := time.Time{}
 	for {
 		e.mu.Lock()
-		for len(e.pending) == 0 && !e.stopped {
-			e.idle = true
-			e.cond.Wait()
+		for {
+			for !e.stopped && (len(e.pending) == 0 || e.inFlight >= e.maxInFlight || e.preparers > 0) {
+				e.cond.Wait()
+			}
+			if e.stopped {
+				break
+			}
+			// Heartbeat pacing: give late arrivals a chance to join the
+			// batch. The admission check reruns after the sleep — a Prepare
+			// or a full pipeline that arose meanwhile must hold dispatch.
+			if e.cfg.Heartbeat > 0 {
+				if wait := e.cfg.Heartbeat - time.Since(lastStart); wait > 0 {
+					e.mu.Unlock()
+					time.Sleep(wait)
+					e.mu.Lock()
+					continue
+				}
+			}
+			break
 		}
-		e.idle = false
 		if e.stopped {
 			pending := e.pending
 			e.pending = nil
 			e.mu.Unlock()
-			for _, r := range pending {
-				r.Result.Err = errors.New("core: engine closed")
-				close(r.Result.done)
-			}
+			failRequests(pending)
 			return
-		}
-		// Heartbeat pacing: give late arrivals a chance to join the batch.
-		if e.cfg.Heartbeat > 0 {
-			if wait := e.cfg.Heartbeat - time.Since(lastStart); wait > 0 {
-				e.mu.Unlock()
-				time.Sleep(wait)
-				e.mu.Lock()
-			}
 		}
 		batch := e.pending
 		if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
@@ -207,26 +269,73 @@ func (e *Engine) loop() {
 		e.gen++
 		gen := e.gen
 		e.generations++
+		e.inFlight++
+		if e.inFlight > e.peakInFlight {
+			e.peakInFlight = e.inFlight
+		}
 		e.mu.Unlock()
 
 		lastStart = time.Now()
-		e.genMu.Lock()
-		e.runGeneration(gen, batch)
-		e.genMu.Unlock()
+		e.dispatchGeneration(gen, batch)
+		// Pipeline fairness: when read phases are in flight, yield the
+		// processor before forming the next generation so operator
+		// goroutines get scheduled promptly. This is load-bearing on
+		// single-core machines despite Go's async preemption — preemption
+		// caps a goroutine's quantum but does not prioritize the waiting
+		// operator goroutines over a hot dispatcher/writer loop; measured
+		// on a 1-CPU host, removing this yield inflates read latency under
+		// a saturating write stream by ~3 orders of magnitude (seconds per
+		// query).
+		e.mu.Lock()
+		reading := e.inFlight > 0
+		e.mu.Unlock()
+		if reading {
+			runtime.Gosched()
+		}
 	}
 }
 
-// Prepare registers a statement in the global plan. Registration happens
-// between generations (the plan is mutated), which is also how ad-hoc
-// queries join the always-on plan at runtime (§3.2).
-func (e *Engine) Prepare(sqlText string) (*plan.Statement, error) {
-	e.genMu.Lock()
-	defer e.genMu.Unlock()
-	return e.plan.Prepare(sqlText)
+// generationDone retires one generation from the pipeline.
+func (e *Engine) generationDone() {
+	e.mu.Lock()
+	e.inFlight--
+	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
-// runGeneration executes one batch of queries and updates.
-func (e *Engine) runGeneration(gen uint64, batch []*Request) {
+// Prepare registers a statement in the global plan. Registration mutates
+// the operator DAG, which must not happen while any generation is
+// traversing it — so Prepare blocks new dispatches and waits until the
+// pipeline has drained (the ad-hoc query path of §3.2, now a pipeline
+// quiesce instead of a between-generations slot).
+func (e *Engine) Prepare(sqlText string) (*plan.Statement, error) {
+	e.mu.Lock()
+	e.preparers++
+	for e.inFlight > 0 && !e.stopped {
+		e.cond.Wait()
+	}
+	if e.stopped {
+		// Close is (or will be) stopping the plan's operator goroutines;
+		// mutating the DAG now would start nodes nothing ever stops.
+		e.preparers--
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return nil, errors.New("core: engine closed")
+	}
+	e.mu.Unlock()
+	stmt, err := e.plan.Prepare(sqlText)
+	e.mu.Lock()
+	e.preparers--
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return stmt, err
+}
+
+// dispatchGeneration runs one batch of queries and updates. The write phase
+// executes synchronously on the dispatcher goroutine — generation order IS
+// write order. The read phase is launched into the plan and completes
+// asynchronously; generationDone retires the generation.
+func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 	// Phase 1: writes, in arrival order. Standalone write statements apply
 	// with Crescando semantics (later ops see earlier ones); transaction
 	// commits follow with snapshot-isolation validation.
@@ -255,33 +364,51 @@ func (e *Engine) runGeneration(gen uint64, batch []*Request) {
 		}
 	}
 
+	// Stats and pipeline bookkeeping update BEFORE the done channels close:
+	// a client returning from Result.Wait must observe its own work in
+	// Stats()/InFlightGenerations(). For a write-only generation the last
+	// completion below also retires the generation before notifying.
+	hasReads := len(readReqs) > 0
 	if len(writeOps) > 0 {
-		results, _ := e.db.ApplyOps(writeOps)
-		for i, res := range results {
-			writeReqs[i].Result.RowsAffected = res.RowsAffected
-			writeReqs[i].Result.Err = res.Err
-			close(writeReqs[i].Result.done)
-		}
+		results, commitTS := e.db.ApplyOps(writeOps)
 		e.mu.Lock()
 		e.writesRun += uint64(len(writeOps))
 		e.mu.Unlock()
+		if !hasReads && len(txs) == 0 {
+			e.generationDone()
+		}
+		for i, res := range results {
+			writeReqs[i].Result.RowsAffected = res.RowsAffected
+			writeReqs[i].Result.Err = res.Err
+			writeReqs[i].Result.SnapshotTS = commitTS
+			close(writeReqs[i].Result.done)
+		}
 	}
 	if len(txs) > 0 {
-		_, errs := e.db.CommitTxBatch(txs)
-		for i, err := range errs {
-			txReqs[i].Result.Err = err
-			close(txReqs[i].Result.done)
-		}
+		commitTS, errs := e.db.CommitTxBatch(txs)
 		e.mu.Lock()
 		e.writesRun += uint64(len(txs))
 		e.mu.Unlock()
+		if !hasReads {
+			e.generationDone()
+		}
+		for i, err := range errs {
+			txReqs[i].Result.Err = err
+			txReqs[i].Result.SnapshotTS = commitTS
+			close(txReqs[i].Result.done)
+		}
 	}
 
-	// Phase 2: reads at the post-write snapshot.
-	if len(readReqs) == 0 {
+	// Phase 2: reads at the post-write snapshot. Query ids are generation-
+	// scoped (small dense ints); isolation between overlapping generations
+	// comes from generation-tagged routing, not from the id space.
+	if !hasReads {
+		if len(writeOps) == 0 && len(txs) == 0 {
+			e.generationDone()
+		}
 		return
 	}
-	ts := e.db.SnapshotTS()
+	ts := e.db.PinCurrentSnapshot()
 	acts := make([]plan.Activation, len(readReqs))
 	byQID := make(map[queryset.QueryID]*Request, len(readReqs))
 	for i, r := range readReqs {
@@ -289,12 +416,13 @@ func (e *Engine) runGeneration(gen uint64, batch []*Request) {
 		acts[i] = plan.Activation{QID: qid, Stmt: r.Stmt, Params: r.Params}
 		byQID[qid] = r
 		r.Result.Schema = r.Stmt.OutSchema
+		r.Result.SnapshotTS = ts
 	}
 
-	done := make(chan struct{})
 	e.plan.RunGeneration(gen, ts, acts,
 		func(stream int, t operators.Tuple) {
-			// Sink callback: runs on the sink goroutine only, so per-request
+			// Sink callback: runs on the sink goroutine only (one sink cycle
+			// at a time, even with generations in flight), so per-request
 			// state needs no locking. Routing applies each query's own
 			// projection, DISTINCT and LIMIT (the per-query tail of the
 			// shared plan).
@@ -324,16 +452,18 @@ func (e *Engine) runGeneration(gen uint64, batch []*Request) {
 				res.Rows = append(res.Rows, row)
 			}
 		},
-		func() { close(done) },
+		func() {
+			e.db.UnpinSnapshot(ts)
+			e.mu.Lock()
+			e.queriesRun += uint64(len(readReqs))
+			e.mu.Unlock()
+			e.generationDone()
+			for _, r := range readReqs {
+				r.Result.distinctSeen = nil
+				close(r.Result.done)
+			}
+		},
 	)
-	<-done
-	for _, r := range readReqs {
-		r.Result.distinctSeen = nil
-		close(r.Result.done)
-	}
-	e.mu.Lock()
-	e.queriesRun += uint64(len(readReqs))
-	e.mu.Unlock()
 }
 
 // bindWrite turns a bound write plan plus parameters into a storage op:

@@ -40,14 +40,15 @@ const batchSize = 1024
 // if the tuple's query set intersects the queries the consumer serves this
 // generation, and the delivered set is restricted to that intersection.
 //
-// Edge query sets are snapshotted at cycle start: the coordinator may begin
-// installing the next generation's sets the moment the sink drains, while
-// this node is still flushing edges that were idle this cycle.
+// Edge query sets are per generation and snapshotted at cycle start: with
+// pipelined execution the coordinator installs future generations' sets
+// while this node is mid-cycle, and downstream nodes may still be draining
+// older generations.
 type emitter struct {
 	node *Node
 	gen  uint64
 	// edgeQueries is the cycle-start snapshot of each consumer edge's
-	// active query set.
+	// active query set for this emitter's generation.
 	edgeQueries []queryset.Set
 	// buffered batches per consumer edge index, keyed by stream
 	bufs []map[int]*Batch
@@ -58,7 +59,7 @@ func newEmitter(n *Node, gen uint64) *emitter {
 	eq := make([]queryset.Set, len(n.Consumers))
 	for i, edge := range n.Consumers {
 		bufs[i] = map[int]*Batch{}
-		eq[i] = edge.queries
+		eq[i] = edge.QueriesFor(gen)
 	}
 	return &emitter{node: n, gen: gen, edgeQueries: eq, bufs: bufs}
 }

@@ -55,27 +55,32 @@ func (f *FilterOp) Finish(c *Cycle) { c.opState = nil }
 
 // SinkOp terminates the dataflow: it hands result tuples to the engine,
 // which applies per-query projection and delivers rows to waiting clients.
-// The engine registers the per-generation callback via SetHandler before
-// starting the cycle.
+// Handlers are keyed by generation — with pipelined execution the engine
+// registers generation N+1's callback while the sink is still draining
+// generation N — and are released when the generation's sink cycle ends.
 type SinkOp struct {
-	mu      sync.Mutex
-	onTuple func(stream int, t Tuple)
+	mu       sync.Mutex
+	handlers map[uint64]func(stream int, t Tuple)
 }
 
-// SetHandler installs the tuple callback for the next cycle.
-func (s *SinkOp) SetHandler(fn func(stream int, t Tuple)) {
+// SetHandler installs the tuple callback for generation gen. It must be
+// called before the generation's CycleStart is pushed to the sink node.
+func (s *SinkOp) SetHandler(gen uint64, fn func(stream int, t Tuple)) {
 	s.mu.Lock()
-	s.onTuple = fn
+	if s.handlers == nil {
+		s.handlers = map[uint64]func(stream int, t Tuple){}
+	}
+	s.handlers[gen] = fn
 	s.mu.Unlock()
 }
 
 // Start begins a sink cycle.
 func (s *SinkOp) Start(*Cycle) {}
 
-// Consume forwards tuples to the engine.
-func (s *SinkOp) Consume(_ *Cycle, b *Batch) {
+// Consume forwards tuples to the engine callback of the cycle's generation.
+func (s *SinkOp) Consume(c *Cycle, b *Batch) {
 	s.mu.Lock()
-	fn := s.onTuple
+	fn := s.handlers[c.Gen]
 	s.mu.Unlock()
 	if fn == nil {
 		return
@@ -85,9 +90,13 @@ func (s *SinkOp) Consume(_ *Cycle, b *Batch) {
 	}
 }
 
-// Finish completes the sink cycle; the node's OnDone callback (set in
-// CycleStart) signals the engine afterwards.
-func (s *SinkOp) Finish(*Cycle) {}
+// Finish releases the generation's handler; the node's OnDone callback (set
+// in CycleStart) signals the engine afterwards.
+func (s *SinkOp) Finish(c *Cycle) {
+	s.mu.Lock()
+	delete(s.handlers, c.Gen)
+	s.mu.Unlock()
+}
 
 // denseExprs builds a dense query-id-indexed slice from per-task specs.
 // Generation-scoped query ids are small consecutive integers, so slice

@@ -172,10 +172,8 @@ type IndexJoinOp struct {
 	Outers map[int]JoinOuter // by outer stream id
 
 	// per-cycle: residual predicate per query over the inner table schema
-	// (dense slice indexed by generation-scoped query id), and the
-	// lock-free visibility view (safe under the generation barrier)
+	// (dense slice indexed by generation-scoped query id)
 	residuals []expr.Expr
-	view      *storage.ReadView
 }
 
 // IndexJoinSpec is the per-query activation: the bound predicate this query
@@ -190,34 +188,23 @@ func (j *IndexJoinOp) Start(c *Cycle) {
 		s, _ := spec.(IndexJoinSpec)
 		return s.InnerResidual
 	})
-	j.view = j.Table.ReadView(c.TS)
 }
 
-// Consume probes the index for every outer tuple.
+// Consume probes the index for every outer tuple. Each probe runs under the
+// inner table's read lock (storage.IndexSeekAt): with pipelined
+// generations, later generations' writes land while this cycle runs, so
+// the tree and version chains cannot be traversed lock-free.
 func (j *IndexJoinOp) Consume(c *Cycle, b *Batch) {
 	cfg, ok := j.Outers[b.Stream]
 	if !ok {
 		return
 	}
-	innerCols := j.Index.Cols
 	for _, t := range b.Tuples {
 		key := make([]types.Value, len(cfg.KeyCols))
 		for i, col := range cfg.KeyCols {
 			key[i] = t.Row[col]
 		}
-		j.Index.Tree().SeekEQ(key, func(rid uint64) bool {
-			inner, visible := j.view.Visible(rid)
-			if !visible {
-				return true
-			}
-			for i := range key {
-				if i >= len(innerCols) {
-					break
-				}
-				if !inner[innerCols[i]].Equal(key[i]) {
-					return true // stale index entry
-				}
-			}
+		j.Table.IndexSeekAt(j.Index, key, c.TS, func(_ storage.RowID, inner types.Row) bool {
 			qs := t.QS.Retain(func(q queryset.QueryID) bool {
 				if int(q) >= len(j.residuals) {
 					return false
@@ -235,5 +222,4 @@ func (j *IndexJoinOp) Consume(c *Cycle, b *Batch) {
 // Finish releases cycle state.
 func (j *IndexJoinOp) Finish(*Cycle) {
 	j.residuals = nil
-	j.view = nil
 }

@@ -1,7 +1,6 @@
 package operators
 
 import (
-	"fmt"
 	"sync"
 
 	"shareddb/internal/queryset"
@@ -12,6 +11,12 @@ import (
 // goroutine (the paper pins each operator to a CPU core with hard affinity;
 // a long-lived goroutine is this implementation's substitute) and an
 // unbounded incoming message queue. Nodes are connected by Edges.
+//
+// A node executes one generation cycle at a time, in generation order.
+// Pipelining across generations happens between nodes: while this node is
+// still draining generation N, an upstream node that finished N may already
+// be producing generation N+1 — those messages (and the next CycleStart)
+// are queued and handled once the current cycle completes.
 type Node struct {
 	ID        int
 	Name      string
@@ -23,21 +28,46 @@ type Node struct {
 	wg    sync.WaitGroup
 }
 
-// Edge connects a producer node to a consumer node. queries is
-// per-generation state: the set of active queries routed over this edge,
-// written by the coordinator between generations (the generation barrier
-// makes this safe) and read by the producer's emitter during the cycle.
+// Edge connects a producer node to a consumer node. Query routing state is
+// kept per generation: with pipelined execution several generations are in
+// flight at once, so the coordinator installs the query set for generation
+// G while earlier generations may still be traversing the edge. Producers
+// snapshot their consumer edges' sets for their own generation at cycle
+// start; the coordinator clears a generation's entries once its sink
+// drains.
 type Edge struct {
 	From, To *Node
-	queries  queryset.Set
+
+	mu      sync.RWMutex
+	queries map[uint64]queryset.Set // generation → active query set
 }
 
-// SetQueries assigns the active query set for the upcoming generation.
-// Must only be called between generations.
-func (e *Edge) SetQueries(qs queryset.Set) { e.queries = qs }
+// SetQueries installs the active query set for generation gen.
+func (e *Edge) SetQueries(gen uint64, qs queryset.Set) {
+	e.mu.Lock()
+	if e.queries == nil {
+		e.queries = map[uint64]queryset.Set{}
+	}
+	e.queries[gen] = qs
+	e.mu.Unlock()
+}
 
-// Queries returns the edge's active query set.
-func (e *Edge) Queries() queryset.Set { return e.queries }
+// QueriesFor returns the edge's active query set for generation gen (the
+// empty set if the edge serves no queries that generation).
+func (e *Edge) QueriesFor(gen uint64) queryset.Set {
+	e.mu.RLock()
+	qs := e.queries[gen]
+	e.mu.RUnlock()
+	return qs
+}
+
+// ClearQueries drops generation gen's routing state once the generation has
+// fully drained.
+func (e *Edge) ClearQueries(gen uint64) {
+	e.mu.Lock()
+	delete(e.queries, gen)
+	e.mu.Unlock()
+}
 
 // NewNode creates a node with the given operator behavior.
 func NewNode(id int, name string, op Operator) *Node {
@@ -139,29 +169,50 @@ func (n *Node) Stop() {
 func (n *Node) Inbox() *SyncedQueue { return n.inbox }
 
 // run is the outer loop: wait for a generation activation, execute the
-// cycle, repeat. Data can overtake a node's CycleStart (the coordinator
-// pushes activations node by node while fast producers are already
-// emitting), so out-of-cycle data is stashed and replayed when the matching
-// activation arrives.
+// cycle, repeat. With pipelined generations both data and CycleStart
+// messages can overtake a node's current cycle (fast producers are already
+// emitting generation N+1 while this node drains N), so out-of-cycle data
+// is stashed and replayed when the matching activation runs, and queued
+// CycleStarts execute in generation order once the current cycle ends.
 func (n *Node) run() {
 	var stash []Message
+	var starts []*CycleStart
 	for {
-		msg, ok := n.inbox.Pop()
+		if len(starts) == 0 {
+			msg, ok := n.inbox.Pop()
+			if !ok {
+				return
+			}
+			if msg.Ctrl != nil {
+				starts = append(starts, msg.Ctrl)
+			} else {
+				stash = append(stash, msg)
+			}
+			continue
+		}
+		// Run the oldest queued generation next (the coordinator dispatches
+		// in order, but keep this robust to arrival reordering).
+		mi := 0
+		for i, cs := range starts {
+			if cs.Gen < starts[mi].Gen {
+				mi = i
+			}
+		}
+		cs := starts[mi]
+		starts = append(starts[:mi], starts[mi+1:]...)
+		var ok bool
+		stash, starts, ok = n.runCycle(cs, stash, starts)
 		if !ok {
 			return
 		}
-		if msg.Ctrl == nil {
-			stash = append(stash, msg)
-			continue
-		}
-		stash = n.runCycle(msg.Ctrl, stash)
 	}
 }
 
 // runCycle executes one generation at this node (the body of Algorithm 1's
 // outer while-loop). It consumes stashed early-arrival messages first and
-// returns any messages belonging to a future generation.
-func (n *Node) runCycle(cs *CycleStart, stash []Message) []Message {
+// returns messages and cycle starts belonging to future generations; ok is
+// false when the inbox closed mid-cycle (shutdown).
+func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (future []Message, nextStarts []*CycleStart, ok bool) {
 	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, node: n, em: newEmitter(n, cs.Gen)}
 	ids := make([]queryset.QueryID, len(cs.Tasks))
 	for i, t := range cs.Tasks {
@@ -172,7 +223,6 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message) []Message {
 	n.Op.Start(c)
 	remaining := cs.ActiveProducers
 
-	var future []Message
 	handle := func(msg Message) {
 		if msg.Gen != cs.Gen {
 			if msg.Gen > cs.Gen {
@@ -182,7 +232,7 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message) []Message {
 		}
 		if msg.EOS {
 			remaining--
-			if ea, ok := n.Op.(EOSAware); ok {
+			if ea, aware := n.Op.(EOSAware); aware {
 				ea.EdgeEOS(c, msg.Edge)
 			}
 			return
@@ -196,12 +246,15 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message) []Message {
 		handle(msg)
 	}
 	for remaining > 0 {
-		msg, ok := n.inbox.Pop()
-		if !ok {
-			return future
+		msg, popped := n.inbox.Pop()
+		if !popped {
+			return future, starts, false
 		}
 		if msg.Ctrl != nil {
-			panic(fmt.Sprintf("operators: node %s received CycleStart mid-cycle", n.Name))
+			// Next generation's activation arrived while this cycle is still
+			// draining: queue it for after the current cycle.
+			starts = append(starts, msg.Ctrl)
+			continue
 		}
 		handle(msg)
 	}
@@ -210,5 +263,5 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message) []Message {
 	if cs.OnDone != nil {
 		cs.OnDone()
 	}
-	return future
+	return future, starts, true
 }

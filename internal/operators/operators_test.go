@@ -115,9 +115,9 @@ func (r *testRig) runGen(gen, ts uint64, tasks map[*Node][]Task, edgeQueries map
 	r.done = make(chan struct{})
 
 	for e, qs := range edgeQueries {
-		e.SetQueries(queryset.Of(qs...))
+		e.SetQueries(gen, queryset.Of(qs...))
 	}
-	r.sop.SetHandler(func(stream int, t Tuple) {
+	r.sop.SetHandler(gen, func(stream int, t Tuple) {
 		r.mu.Lock()
 		for _, q := range t.QS.IDs() {
 			r.results[q] = append(r.results[q], t.Row)
@@ -129,7 +129,7 @@ func (r *testRig) runGen(gen, ts uint64, tasks map[*Node][]Task, edgeQueries map
 	activeProducers := func(n *Node) int {
 		c := 0
 		for _, e := range n.Producers {
-			if !e.Queries().Empty() {
+			if !e.QueriesFor(gen).Empty() {
 				c++
 			}
 		}

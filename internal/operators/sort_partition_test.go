@@ -35,7 +35,7 @@ func runSortCycle(t *testing.T, tasks []Task, batches []*Batch) map[queryset.Que
 	sink := &SinkOp{}
 	sinkNode := NewNode(1, "sink", sink)
 	edge := Connect(node, sinkNode)
-	edge.SetQueries(queryset.Of(func() []queryset.QueryID {
+	edge.SetQueries(1, queryset.Of(func() []queryset.QueryID {
 		var ids []queryset.QueryID
 		for _, tk := range tasks {
 			ids = append(ids, tk.Query)
@@ -44,7 +44,7 @@ func runSortCycle(t *testing.T, tasks []Task, batches []*Batch) map[queryset.Que
 	}()...))
 
 	results := map[queryset.QueryID][]int64{}
-	sink.SetHandler(func(_ int, tp Tuple) {
+	sink.SetHandler(1, func(_ int, tp Tuple) {
 		for _, q := range tp.QS.IDs() {
 			results[q] = append(results[q], tp.Row[0].AsInt())
 		}
@@ -62,7 +62,7 @@ func runSortCycle(t *testing.T, tasks []Task, batches []*Batch) map[queryset.Que
 	for sinkNode.Inbox().Len() > 0 {
 		msg, _ := sinkNode.Inbox().Pop()
 		if msg.Batch != nil {
-			sink.Consume(nil, msg.Batch)
+			sink.Consume(&Cycle{Gen: 1}, msg.Batch)
 		}
 	}
 	return results

@@ -16,13 +16,19 @@ type Activation struct {
 
 // RunGeneration executes one heartbeat of the global plan (paper §3.2):
 // every activation's tasks are queued at the operators along its path, edge
-// query-sets are installed, and all active nodes are started for generation
-// gen reading snapshot ts. onTuple receives every tuple reaching the sink;
-// onDone fires when the generation has fully drained.
+// query-sets are installed for this generation, and all active nodes are
+// started for generation gen reading snapshot ts. onTuple receives every
+// tuple reaching the sink; onDone fires when the generation has fully
+// drained.
 //
-// RunGeneration returns immediately; completion is signaled via onDone. The
-// caller must not start the next generation before onDone (the generation
-// barrier is what makes edge/plan mutation safe).
+// RunGeneration returns immediately; completion is signaled via onDone.
+// Generations pipeline: the caller may start generation N+1 while earlier
+// generations are still draining — routing state (edge query sets, the sink
+// handler) is keyed by generation, each node runs its cycles in generation
+// order, and messages carry their generation tag so overlapping generations
+// never observe each other's tuples. Generations must be dispatched in
+// increasing gen order, and plan mutation (Prepare) still requires all
+// generations to have drained.
 func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple func(stream int, t operators.Tuple), onDone func()) {
 	p.mu.Lock()
 
@@ -30,11 +36,6 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple fu
 		p.mu.Unlock()
 		onDone()
 		return
-	}
-
-	// reset per-generation edge state
-	for _, e := range p.edges {
-		e.SetQueries(queryset.Set{})
 	}
 
 	tasks := map[*operators.Node][]operators.Task{}
@@ -47,25 +48,36 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple fu
 			edgeQ[e] = append(edgeQ[e], a.QID)
 		}
 	}
+	activated := make([]*operators.Edge, 0, len(edgeQ))
 	for e, ids := range edgeQ {
-		e.SetQueries(queryset.Of(ids...))
+		e.SetQueries(gen, queryset.Of(ids...))
+		activated = append(activated, e)
 	}
 
 	activeProducers := func(n *operators.Node) int {
 		c := 0
 		for _, e := range n.Producers {
-			if !e.Queries().Empty() {
+			if !e.QueriesFor(gen).Empty() {
 				c++
 			}
 		}
 		return c
 	}
 
-	p.SinkOp.SetHandler(onTuple)
+	p.SinkOp.SetHandler(gen, onTuple)
+	// The sink is the last node to finish a generation (every active node's
+	// EOS must reach it), so by the time its cycle completes every emitter
+	// has snapshotted this generation's edge sets and they can be dropped.
+	done := func() {
+		for _, e := range activated {
+			e.ClearQueries(gen)
+		}
+		onDone()
+	}
 	p.sink.Inbox().Push(operators.Message{Ctrl: &operators.CycleStart{
 		Gen: gen, TS: ts,
 		ActiveProducers: activeProducers(p.sink),
-		OnDone:          onDone,
+		OnDone:          done,
 	}})
 	for n, nt := range tasks {
 		n.Inbox().Push(operators.Message{Ctrl: &operators.CycleStart{

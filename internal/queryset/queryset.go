@@ -8,6 +8,13 @@
 // list representations and chose sorted lists; Set is that list
 // implementation. A bitmap variant lives in bitmap.go for the ablation
 // benchmark (DESIGN.md A1).
+//
+// QueryIDs are generation-scoped: each engine generation numbers its
+// queries densely from 1, which keeps sets small and lets operators use
+// id-indexed slices. With pipelined generations the same ids are live in
+// several generations at once — isolation comes from generation-tagged
+// routing (every message, cycle and edge query-set carries its generation),
+// never from the id space itself.
 package queryset
 
 import (

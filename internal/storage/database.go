@@ -41,7 +41,59 @@ type Database struct {
 	clock    uint64 // last assigned commit timestamp
 	snapTS   uint64 // latest published snapshot
 
+	// pins are snapshots held by in-flight read generations; GC must not
+	// truncate versions still visible at the oldest pin.
+	pinMu sync.Mutex
+	pins  map[uint64]int // snapshot ts → reference count
+
 	wal *WAL
+}
+
+// PinCurrentSnapshot atomically reads the latest published snapshot and
+// pins it, shielding the versions visible at it from GC until
+// UnpinSnapshot. The read and the pin happen under the pin lock that
+// GCAll's horizon computation also takes, so there is no window where a
+// concurrent GC can truncate versions the about-to-run reader needs.
+func (db *Database) PinCurrentSnapshot() uint64 {
+	db.pinMu.Lock()
+	ts := db.SnapshotTS()
+	if db.pins == nil {
+		db.pins = map[uint64]int{}
+	}
+	db.pins[ts]++
+	db.pinMu.Unlock()
+	return ts
+}
+
+// UnpinSnapshot releases a PinSnapshot reference.
+func (db *Database) UnpinSnapshot(ts uint64) {
+	db.pinMu.Lock()
+	if db.pins[ts] > 1 {
+		db.pins[ts]--
+	} else {
+		delete(db.pins, ts)
+	}
+	db.pinMu.Unlock()
+}
+
+// gcHorizon computes the GC truncation horizon: the current snapshot minus
+// keep, capped by the oldest pinned snapshot. Held under pinMu so it is
+// atomic with PinCurrentSnapshot — a pin taken after this returns is for a
+// snapshot >= the horizon, whose visible versions GC preserves.
+func (db *Database) gcHorizon(keep uint64) (uint64, bool) {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	ts := db.SnapshotTS()
+	if ts <= keep {
+		return 0, false
+	}
+	horizon := ts - keep
+	for pinned := range db.pins {
+		if pinned < horizon {
+			horizon = pinned
+		}
+	}
+	return horizon, true
 }
 
 // Open creates a new empty database. If opts.WALDir is set, any existing
@@ -333,13 +385,13 @@ func applyOne(t *Table, op WriteOp, ts uint64) (OpResult, []WALRecord) {
 }
 
 // GCAll truncates version history older than the current snapshot minus
-// keepGenerations commit timestamps.
+// keepGenerations commit timestamps. Snapshots pinned by in-flight read
+// generations cap the horizon: their versions survive regardless.
 func (db *Database) GCAll(keepGenerations uint64) {
-	ts := db.SnapshotTS()
-	if ts <= keepGenerations {
+	horizon, ok := db.gcHorizon(keepGenerations)
+	if !ok {
 		return
 	}
-	horizon := ts - keepGenerations
 	for _, t := range db.Tables() {
 		t.GC(horizon)
 	}

@@ -15,7 +15,7 @@ import (
 //
 // Sharing happens two ways: look-ups with identical keys collapse into one
 // B-tree traversal serving all their queries, and all look-ups of a cycle
-// run back-to-back over a quiesced tree.
+// run back-to-back over the tree.
 
 // ProbeClient is one index look-up in a probe cycle. Either Key (equality,
 // prefix semantics) or Lo/Hi (range) is set.
@@ -32,14 +32,15 @@ type ProbeClient struct {
 // across clients are deduplicated so each distinct key is traversed once.
 // emit receives each visible matching row with its interested-query set.
 //
-// Visibility resolution uses a lock-free ReadView: shared probes run only
-// inside the engine's read phase, where the generation barrier excludes
-// concurrent writers.
+// Traversals run through the locked helpers (IndexSeekAt / IndexScanAt):
+// pipelined generations let later generations' writes land while this
+// probe cycle runs, so trees and version chains cannot be walked lock-free.
+// Visibility is at the fixed snapshot ts, so per-traversal locking is
+// equivalent to holding the lock for the whole cycle.
 func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit func(rid RowID, row types.Row, qs queryset.Set)) {
 	if len(clients) == 0 {
 		return
 	}
-	view := t.ReadView(ts)
 	// Group equality clients by key; ranges handled per client.
 	type group struct {
 		key     btree.Key
@@ -61,35 +62,10 @@ func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit fu
 		}
 	}
 
-	// rowMatches verifies the visible row still carries the sought key
-	// (index entries for superseded versions linger until GC).
-	keyMatches := func(row types.Row, key btree.Key) bool {
-		for i := range key {
-			if i >= len(ix.Cols) {
-				break
-			}
-			if !row[ix.Cols[i]].Equal(key[i]) {
-				return false
-			}
-		}
-		return true
-	}
-
 	var buf []queryset.QueryID
 	for _, g := range groups {
-		// Prefix keys can reach the same rid through several full keys
-		// (e.g. superseded versions of a multi-column index); dedup on the
-		// first version that actually matches.
-		seen := map[RowID]bool{}
-		ix.tree.SeekEQ(g.key, func(rid uint64) bool {
-			if seen[rid] {
-				return true
-			}
-			row, ok := view.Visible(rid)
-			if !ok || !keyMatches(row, g.key) {
-				return true
-			}
-			seen[rid] = true
+		g := g
+		t.IndexSeekAt(ix, g.key, ts, func(rid RowID, row types.Row) bool {
 			buf = buf[:0]
 			for _, c := range g.clients {
 				if expr.TruthyEval(c.Residual, row, nil) {
@@ -104,19 +80,8 @@ func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit fu
 	}
 
 	for _, c := range rangeClients {
-		seen := map[RowID]bool{}
 		c := c
-		ix.tree.Scan(c.Lo, c.Hi, c.LoIncl, c.HiIncl, func(key btree.Key, rid uint64) bool {
-			if seen[rid] {
-				return true
-			}
-			row, ok := view.Visible(rid)
-			if !ok || !keyMatches(row, key) {
-				// Stale entry for a superseded version: the entry carrying
-				// the visible version's key will handle this rid.
-				return true
-			}
-			seen[rid] = true
+		t.IndexScanAt(ix, c.Lo, c.Hi, c.LoIncl, c.HiIncl, ts, func(rid RowID, row types.Row) bool {
 			if expr.TruthyEval(c.Residual, row, nil) {
 				emit(rid, row, queryset.Single(c.ID))
 			}

@@ -1,39 +1,83 @@
 package storage
 
 import (
+	"shareddb/internal/btree"
 	"shareddb/internal/types"
 )
 
-// ReadView is a lock-free visibility checker for one batch cycle.
+// Locked index look-ups.
 //
-// SharedDB's generation barrier guarantees that no write runs while the
-// operator dataflow executes (updates apply in phase 1, reads run in phase
-// 2; the next generation starts only after the previous fully drains), so
-// shared operators can capture the slot array once per cycle and resolve
-// row visibility without per-row locking. The query-at-a-time baseline,
-// whose reads do overlap writes, keeps using the locked Visible path.
-type ReadView struct {
-	slots []*version
-	ts    uint64
-}
+// Before generation pipelining, shared operators resolved row visibility
+// through a lock-free ReadView: the engine's generation barrier guaranteed
+// no write ran while the operator dataflow executed. With up to
+// Config.MaxInFlightGenerations read phases overlapping later generations'
+// write phases, that guarantee is gone — B-tree traversals and version
+// chains must be protected against concurrent mutation. These helpers hold
+// the table read lock across one traversal and resolve visibility at a
+// fixed snapshot, so callers (shared index joins, the query-at-a-time
+// baseline) stay correct while writes land concurrently.
 
-// ReadView captures a visibility view at snapshot ts.
-func (t *Table) ReadView(ts uint64) *ReadView {
+// IndexSeekAt seeks ix for key (equality, prefix semantics) and yields
+// every distinct visible row at snapshot ts whose visible version still
+// carries the sought key (entries for superseded versions linger in the
+// tree until GC). fn returning false stops the traversal. The table read
+// lock is held for the whole seek; fn must not call back into this table's
+// locking methods.
+func (t *Table) IndexSeekAt(ix *Index, key btree.Key, ts uint64, fn func(rid RowID, row types.Row) bool) {
 	t.mu.RLock()
-	slots := t.slots
-	t.mu.RUnlock()
-	return &ReadView{slots: slots, ts: ts}
+	defer t.mu.RUnlock()
+	var seen map[RowID]bool
+	ix.tree.SeekEQ(key, func(rid uint64) bool {
+		if seen[rid] {
+			return true
+		}
+		row, visible := t.visibleLocked(rid, ts)
+		if !visible || !indexKeyMatches(ix, row, key) {
+			return true
+		}
+		if seen == nil {
+			seen = map[RowID]bool{}
+		}
+		seen[rid] = true
+		return fn(rid, row)
+	})
 }
 
-// Visible resolves the row version of rid visible at the view's snapshot.
-func (v *ReadView) Visible(rid RowID) (types.Row, bool) {
-	if rid >= uint64(len(v.slots)) {
-		return nil, false
-	}
-	for ver := v.slots[rid]; ver != nil; ver = ver.older {
-		if ver.beginTS <= v.ts && v.ts < ver.endTS {
-			return ver.row, true
+// IndexScanAt scans ix over [lo, hi] and yields every distinct visible row
+// at snapshot ts whose visible version still carries the entry's key, under
+// the table read lock. fn returning false stops the traversal.
+func (t *Table) IndexScanAt(ix *Index, lo, hi btree.Key, loIncl, hiIncl bool, ts uint64, fn func(rid RowID, row types.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var seen map[RowID]bool
+	ix.tree.Scan(lo, hi, loIncl, hiIncl, func(key btree.Key, rid uint64) bool {
+		if seen[rid] {
+			return true
+		}
+		row, visible := t.visibleLocked(rid, ts)
+		if !visible || !indexKeyMatches(ix, row, key) {
+			// Stale entry for a superseded version: the entry carrying the
+			// visible version's key will handle this rid.
+			return true
+		}
+		if seen == nil {
+			seen = map[RowID]bool{}
+		}
+		seen[rid] = true
+		return fn(rid, row)
+	})
+}
+
+// indexKeyMatches reports whether row carries key under ix (prefix
+// semantics for short keys).
+func indexKeyMatches(ix *Index, row types.Row, key btree.Key) bool {
+	for i := range key {
+		if i >= len(ix.Cols) {
+			break
+		}
+		if !row[ix.Cols[i]].Equal(key[i]) {
+			return false
 		}
 	}
-	return nil, false
+	return true
 }

@@ -237,11 +237,17 @@ func (t *Table) lastModTS(rid RowID) uint64 {
 
 // ScanVisible iterates all rows visible at ts in RowID order. fn returning
 // false stops the scan.
+//
+// The table read lock is held for the whole pass: with pipelined
+// generations, writes of later generations land while earlier generations'
+// read cycles are still scanning, so version chains can no longer be
+// traversed lock-free. Writers (ApplyOps / CommitTxBatch) block until the
+// pass completes; readers of other generations proceed concurrently. fn
+// must not call back into this table's locking methods.
 func (t *Table) ScanVisible(ts uint64, fn func(rid RowID, row types.Row) bool) {
 	t.mu.RLock()
-	slots := t.slots
-	t.mu.RUnlock()
-	for rid, head := range slots {
+	defer t.mu.RUnlock()
+	for rid, head := range t.slots {
 		for v := head; v != nil; v = v.older {
 			if v.beginTS <= ts && ts < v.endTS {
 				if !fn(RowID(rid), v.row) {

@@ -1,11 +1,13 @@
 package tpcw
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"time"
 
+	"shareddb/internal/storage"
 	"shareddb/internal/types"
 )
 
@@ -315,7 +317,28 @@ func (s *Session) buyRequest() error {
 // buyConfirm is the write-heavy interaction: it turns the cart into an
 // order inside one transaction (order header, one order line per cart line,
 // stock updates, credit-card transaction, cart clearing).
+//
+// A snapshot-isolation conflict (another customer's purchase committing a
+// stock update to the same item after this transaction's Begin) aborts the
+// commit atomically; like a real TPC-W client the session retries the
+// interaction a few times — the cart is untouched by an aborted commit and
+// stock is re-read on each attempt. Note the conflict check only covers
+// the Begin→commit window: the reference read-then-write behaviour (stock
+// is read before the transaction opens) can still overwrite a competing
+// update that committed before Begin, exactly as in TPC-W implementations
+// on snapshot-isolation databases.
 func (s *Session) buyConfirm() error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = s.buyConfirmOnce()
+		if err == nil || !errors.Is(err, storage.ErrConflict) {
+			return err
+		}
+	}
+	return err
+}
+
+func (s *Session) buyConfirmOnce() error {
 	if s.cartID == 0 {
 		if err := s.shoppingCart(); err != nil {
 			return err

@@ -12,6 +12,14 @@
 // of concurrent queries — which is what gives SharedDB robust latency under
 // extreme load.
 //
+// Generations pipeline through the always-on plan: up to
+// Config.MaxInFlightGenerations generations execute concurrently (default
+// 4), so while one batch sits in the shared join, the next is already
+// scanning. Each generation's updates apply in strict generation order and
+// its reads run at the snapshot published after its own updates, so
+// pipelining never changes results — set MaxInFlightGenerations to 1 for
+// strictly serial generations.
+//
 // Basic usage:
 //
 //	db, _ := shareddb.Open(shareddb.Config{})
@@ -46,6 +54,13 @@ type Config struct {
 	Heartbeat time.Duration
 	// MaxBatch caps requests per generation (0 = unlimited).
 	MaxBatch int
+	// MaxInFlightGenerations bounds how many generations execute
+	// concurrently in the always-on plan (the generation pipeline). 0
+	// selects the engine default (4); 1 restores strictly serial
+	// generations; negative values clamp to 1. Updates always apply in
+	// generation order; only read phases overlap, each at its own
+	// snapshot.
+	MaxInFlightGenerations int
 	// WALDir enables durability (write-ahead log + checkpoints).
 	WALDir string
 	// SyncWAL fsyncs the log on every commit batch.
@@ -66,7 +81,11 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	gp := plan.New(store)
-	eng := core.New(store, gp, core.Config{Heartbeat: cfg.Heartbeat, MaxBatch: cfg.MaxBatch})
+	eng := core.New(store, gp, core.Config{
+		Heartbeat:              cfg.Heartbeat,
+		MaxBatch:               cfg.MaxBatch,
+		MaxInFlightGenerations: cfg.MaxInFlightGenerations,
+	})
 	return &DB{store: store, plan: gp, engine: eng}, nil
 }
 
