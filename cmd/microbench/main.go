@@ -28,12 +28,14 @@ func main() {
 	heavyRates := flag.String("heavy", "0,5,10,25,50,100,200", "heavy query rates for figure 11")
 	window := flag.Duration("window", 2*time.Second, "measurement window per data point")
 	seed := flag.Int64("seed", 2012, "data generator seed")
+	workers := flag.Int("workers", 0, "SharedDB intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	opts := experiments.Options{
 		Scale:         tpcw.Scale{Items: *items, Customers: *customers},
 		PointDuration: *window,
 		Seed:          *seed,
+		Workers:       *workers,
 	}
 
 	switch *fig {

@@ -29,9 +29,10 @@ func main() {
 	listen := flag.String("listen", ":5843", "listen address")
 	wal := flag.String("wal", "", "WAL directory (empty = no durability)")
 	pipeline := flag.Int("pipeline", 0, "max generations in flight (0 = engine default, 1 = serial, negative clamps to serial)")
+	workers := flag.Int("workers", 0, "intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	db, err := shareddb.Open(shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline})
+	db, err := shareddb.Open(shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,6 +32,7 @@ import (
 
 	"shareddb/internal/expr"
 	"shareddb/internal/operators"
+	"shareddb/internal/par"
 	"shareddb/internal/plan"
 	"shareddb/internal/queryset"
 	"shareddb/internal/sql"
@@ -60,6 +61,15 @@ type Config struct {
 	// serial"). Write phases always apply in generation order regardless
 	// of this setting; only read phases overlap.
 	MaxInFlightGenerations int
+	// Workers is the intra-operator parallelism budget per generation
+	// cycle: the partitioned ClockScan splits each table scan into that
+	// many contiguous row ranges, and the blocking shared operators run
+	// data-parallel Finish phases (partitioned sort + k-way merge,
+	// partitioned hash aggregation, parallel join build). 0 selects
+	// GOMAXPROCS (one worker per core, the paper's Crescando setup);
+	// 1 (or negative) is strictly serial and byte-identical to the
+	// pre-parallel engine. Per-query results are identical at any setting.
+	Workers int
 }
 
 // Engine drives generations over a storage database and a global plan.
@@ -73,6 +83,8 @@ type Engine struct {
 	pending []*Request
 	stopped bool
 	gen     uint64
+
+	workers int // resolved Config.Workers (immutable after New)
 
 	// pipeline state, guarded by mu
 	maxInFlight  int // resolved MaxInFlightGenerations
@@ -133,11 +145,16 @@ func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 	} else if e.maxInFlight < 0 {
 		e.maxInFlight = 1
 	}
+	e.workers = par.Resolve(cfg.Workers)
+	gp.SetWorkers(e.workers)
 	e.cond = sync.NewCond(&e.mu)
 	gp.Start()
 	go e.loop()
 	return e
 }
+
+// Workers reports the resolved intra-operator parallelism budget.
+func (e *Engine) Workers() int { return e.workers }
 
 // Close stops the heartbeat loop, waits for in-flight generations to drain
 // (their waiters receive real results), and stops the operator goroutines.

@@ -52,7 +52,10 @@ type Env struct {
 
 // NewEnv loads a fresh database and attaches the requested system. Each
 // system gets its own copy so that one run's updates cannot skew another's.
-func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64) (*Env, error) {
+// workers is SharedDB's intra-operator parallelism budget (0 = GOMAXPROCS);
+// the query-at-a-time baselines ignore it (their parallelism is one core
+// per query by construction).
+func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64, workers int) (*Env, error) {
 	db, err := storage.Open(storage.Options{})
 	if err != nil {
 		return nil, err
@@ -64,7 +67,7 @@ func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64) (*Env, error) {
 	env := &Env{DB: db, Gen: gen, IDs: tpcw.NewIDAllocator(gen), Scale: scale}
 	switch kind {
 	case SharedDB:
-		sys, err := tpcw.NewSharedSystem(db, core.Config{})
+		sys, err := tpcw.NewSharedSystem(db, core.Config{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -98,6 +101,7 @@ type Options struct {
 	PointDuration time.Duration // measurement window per data point
 	ThinkTime     time.Duration // mean EB think time (scaled-down 7 s)
 	Seed          int64
+	Workers       int // SharedDB intra-operator workers (0 = GOMAXPROCS)
 }
 
 // DefaultOptions is the laptop-scale configuration.
@@ -126,7 +130,7 @@ type Fig7Point struct {
 func Fig7(mix tpcw.Mix, ebCounts []int, opts Options) (map[SystemKind][]Fig7Point, error) {
 	out := map[SystemKind][]Fig7Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +168,7 @@ func Fig8(mix tpcw.Mix, cores []int, saturate int, opts Options, setProcs Gomaxp
 	for _, kind := range AllSystems {
 		for _, n := range cores {
 			prev := setProcs(n)
-			env, err := NewEnv(kind, opts.Scale, opts.Seed)
+			env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
 			if err != nil {
 				setProcs(prev)
 				return nil, err
@@ -194,7 +198,7 @@ type Fig9Point struct {
 func Fig9(clients int, opts Options) (map[SystemKind][]Fig9Point, error) {
 	out := map[SystemKind][]Fig9Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +242,7 @@ func (q Fig10Query) String() string {
 func Fig10(query Fig10Query, sizes []int, opts Options) (map[SystemKind][]Fig10Point, error) {
 	out := map[SystemKind][]Fig10Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +303,7 @@ type Fig11Point struct {
 func Fig11(lightRate float64, heavyRates []float64, opts Options) (map[SystemKind][]Fig11Point, error) {
 	out := map[SystemKind][]Fig11Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed)
+		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
 		if err != nil {
 			return nil, err
 		}

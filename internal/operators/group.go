@@ -2,6 +2,7 @@ package operators
 
 import (
 	"shareddb/internal/expr"
+	"shareddb/internal/par"
 	"shareddb/internal/queryset"
 	"shareddb/internal/types"
 )
@@ -134,6 +135,11 @@ type groupState struct {
 	having  map[queryset.QueryID]expr.Expr
 	scalar  map[queryset.QueryID]bool
 	emitted map[queryset.QueryID]bool
+
+	// pending buffers the cycle's input batches when the Finish phase will
+	// aggregate them in parallel (Workers > 1). In serial mode tuples are
+	// aggregated incrementally in Consume and pending stays nil.
+	pending []*Batch
 }
 
 // Start initializes the cycle's hash table and per-query HAVING predicates.
@@ -155,13 +161,24 @@ func (g *GroupOp) Start(c *Cycle) {
 }
 
 // Consume hashes each tuple into its group once and updates the aggregate
-// state of every subscribed query.
+// state of every subscribed query. With a worker budget above 1 the batch is
+// only buffered: the partitioned hash aggregation runs in Finish, where the
+// whole input is known and can be split across workers.
 func (g *GroupOp) Consume(c *Cycle, b *Batch) {
-	cfg, ok := g.Streams[b.Stream]
-	if !ok {
+	if _, ok := g.Streams[b.Stream]; !ok {
 		return
 	}
 	st := c.opState.(*groupState)
+	if c.Workers > 1 {
+		st.pending = append(st.pending, b)
+		return
+	}
+	g.absorb(st, b)
+}
+
+// absorb is the serial aggregation of one batch (the body of ProcessTuple).
+func (g *GroupOp) absorb(st *groupState, b *Batch) {
+	cfg := g.Streams[b.Stream]
 	var argVals [8]types.Value // stack buffer for the common agg counts
 	args := argVals[:0]
 	if len(g.Aggs) > len(argVals) {
@@ -205,9 +222,119 @@ func (g *GroupOp) Consume(c *Cycle, b *Batch) {
 	}
 }
 
+// aggregateParallel is the data-parallel grouping phase (paper §4.2) run
+// over the batches buffered by Consume when Workers > 1. It is a two-step
+// partitioned hash aggregation with a combine step:
+//
+//  1. Partition: the buffered batches are split into contiguous chunks, one
+//     per worker; each worker extracts every tuple's group key and aggregate
+//     arguments once and routes the tuple to one of `workers` key-hash
+//     buckets. Chunks are contiguous, so concatenating a bucket's entries in
+//     chunk order preserves the original tuple arrival order.
+//  2. Combine: each bucket is owned by exactly one worker, which replays its
+//     entries (in arrival order) into a private hash table with the same
+//     per-(group, query) aggregate updates as the serial path. Because a
+//     group key hashes to exactly one bucket, the bucket tables are disjoint
+//     and merge into st.groups by plain insertion.
+//
+// Keeping per-group arrival order makes the parallel path numerically
+// identical to serial execution (float sums accumulate in the same order),
+// and key-ownership avoids having to merge partial aggregate states — which
+// would be impossible for DISTINCT aggregates without re-shipping values.
+func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
+	total := 0
+	for _, b := range st.pending {
+		total += len(b.Tuples)
+	}
+	if total < minParallelAggLen {
+		// Small generation: the fork/join and per-tuple entry allocations
+		// cost more than they save — replay serially (identical semantics).
+		for _, b := range st.pending {
+			g.absorb(st, b)
+		}
+		st.pending = nil
+		return
+	}
+	workers := c.Workers
+	type entry struct {
+		key     string
+		keyVals []types.Value
+		args    []types.Value
+		qs      queryset.Set
+	}
+	chunkBounds := par.Split(len(st.pending), workers)
+	nchunks := len(chunkBounds) - 1
+	buckets := make([][][]entry, nchunks) // [chunk][bucket] → entries
+	par.Do(workers, nchunks, func(ci int) {
+		bucketed := make([][]entry, workers)
+		for _, b := range st.pending[chunkBounds[ci]:chunkBounds[ci+1]] {
+			cfg, ok := g.Streams[b.Stream]
+			if !ok {
+				continue
+			}
+			for _, t := range b.Tuples {
+				keyVals := make([]types.Value, len(cfg.GroupCols))
+				for i, col := range cfg.GroupCols {
+					keyVals[i] = t.Row[col]
+				}
+				args := make([]types.Value, len(g.Aggs))
+				for i := range g.Aggs {
+					if i < len(cfg.AggArgs) && cfg.AggArgs[i] != nil {
+						args[i] = cfg.AggArgs[i].Eval(t.Row, nil)
+					} else {
+						args[i] = types.NewInt(1) // COUNT(*) marker
+					}
+				}
+				k := types.EncodeKey(keyVals...)
+				h := hashPartition(k, workers)
+				bucketed[h] = append(bucketed[h], entry{key: k, keyVals: keyVals, args: args, qs: t.QS})
+			}
+		}
+		buckets[ci] = bucketed
+	})
+	locals := make([]map[string]*groupEntry, workers)
+	par.Do(workers, workers, func(bi int) {
+		m := map[string]*groupEntry{}
+		for ci := 0; ci < nchunks; ci++ {
+			for _, e := range buckets[ci][bi] {
+				ge := m[e.key]
+				if ge == nil {
+					ge = &groupEntry{keyVals: e.keyVals}
+					m[e.key] = ge
+				}
+				for _, qid := range e.qs.IDs() {
+					for int(qid) >= len(ge.perQuery) {
+						ge.perQuery = append(ge.perQuery, nil)
+					}
+					states := ge.perQuery[qid]
+					if states == nil {
+						states = make([]aggState, len(g.Aggs))
+						ge.perQuery[qid] = states
+					}
+					for i, def := range g.Aggs {
+						states[i].add(e.args[i], def)
+					}
+				}
+			}
+		}
+		locals[bi] = m
+	})
+	for _, m := range locals {
+		for k, ge := range m {
+			st.groups[k] = ge
+		}
+	}
+	st.pending = nil
+}
+
 // Finish runs phase 2: per (group, query) HAVING evaluation and emission.
+// When Consume buffered input for parallel execution, the partitioned
+// aggregation runs first; emission itself stays on the cycle goroutine.
 func (g *GroupOp) Finish(c *Cycle) {
 	st := c.opState.(*groupState)
+	if len(st.pending) > 0 {
+		g.aggregateParallel(c, st)
+	}
 	for _, ge := range st.groups {
 		for q, states := range ge.perQuery {
 			if states == nil {

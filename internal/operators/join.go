@@ -2,6 +2,7 @@ package operators
 
 import (
 	"shareddb/internal/expr"
+	"shareddb/internal/par"
 	"shareddb/internal/queryset"
 	"shareddb/internal/storage"
 	"shareddb/internal/types"
@@ -40,10 +41,16 @@ type HashJoinOp struct {
 	innerEdge *Edge // producer edge delivering the build side (set by the plan)
 
 	// per-cycle state
-	buildKey  map[string][]Tuple           // key → inner tuples
+	buildKey  map[string][]Tuple           // key → inner tuples (serial build)
 	buildQID  map[queryset.QueryID][]Tuple // query id → inner tuples
 	pending   []*Batch                     // outer batches buffered until build completes
 	innerDone bool
+
+	// parallel build state (Workers > 1): inner batches are buffered as they
+	// stream in and the hash table is built in parallel at inner EOS, as
+	// key-hash shards so probes stay lock-free lookups.
+	innerPending []*Batch
+	buildShards  []map[string][]Tuple
 }
 
 // JoinSpec is the per-query activation of a join. Shared hash joins need no
@@ -57,6 +64,8 @@ func (j *HashJoinOp) Start(*Cycle) {
 	j.buildQID = map[queryset.QueryID][]Tuple{}
 	j.pending = nil
 	j.innerDone = false
+	j.innerPending = nil
+	j.buildShards = nil
 }
 
 // Consume builds from inner batches and probes (or buffers) outer batches.
@@ -64,6 +73,12 @@ func (j *HashJoinOp) Start(*Cycle) {
 // operator can stream its output into the build phase of a hash join").
 func (j *HashJoinOp) Consume(c *Cycle, b *Batch) {
 	if b.Stream == j.InnerStream {
+		if c.Workers > 1 && !j.ByQueryID {
+			// Parallel regime: buffer; the build happens in parallel at
+			// inner EOS (buildParallel).
+			j.innerPending = append(j.innerPending, b)
+			return
+		}
 		for _, t := range b.Tuples {
 			if j.ByQueryID {
 				for _, qid := range t.QS.IDs() {
@@ -94,10 +109,81 @@ func (j *HashJoinOp) EdgeEOS(c *Cycle, e *Edge) {
 		return
 	}
 	j.innerDone = true
+	j.buildParallel(c)
 	for _, b := range j.pending {
 		j.probeBatch(c, b)
 	}
 	j.pending = nil
+}
+
+// buildParallel turns the buffered inner batches into key-hash shards, in
+// parallel (the parallel join build of paper §4.2). Like the group-by's
+// partitioned aggregation, it is a two-step partition/build: workers first
+// extract keys over contiguous chunks of the buffered batches and route
+// tuples to their key-hash shard; then each shard is built by a single
+// worker, appending tuples in chunk order — so every key's match list holds
+// tuples in the same arrival order the serial build produces, and probe
+// emission order is unchanged. No-op when nothing was buffered.
+func (j *HashJoinOp) buildParallel(c *Cycle) {
+	if len(j.innerPending) == 0 {
+		return
+	}
+	total := 0
+	for _, b := range j.innerPending {
+		total += len(b.Tuples)
+	}
+	if total < minParallelAggLen {
+		// Small build side: a serial build into the ordinary table beats the
+		// partition/build fork/join (identical semantics either way).
+		for _, b := range j.innerPending {
+			for _, t := range b.Tuples {
+				k := keyOf(t.Row, j.InnerKeyCols)
+				j.buildKey[k] = append(j.buildKey[k], t)
+			}
+		}
+		j.innerPending = nil
+		return
+	}
+	workers := c.Workers
+	type entry struct {
+		key string
+		t   Tuple
+	}
+	chunkBounds := par.Split(len(j.innerPending), workers)
+	nchunks := len(chunkBounds) - 1
+	routed := make([][][]entry, nchunks) // [chunk][shard] → entries
+	par.Do(workers, nchunks, func(ci int) {
+		shards := make([][]entry, workers)
+		for _, b := range j.innerPending[chunkBounds[ci]:chunkBounds[ci+1]] {
+			for _, t := range b.Tuples {
+				k := keyOf(t.Row, j.InnerKeyCols)
+				s := hashPartition(k, workers)
+				shards[s] = append(shards[s], entry{key: k, t: t})
+			}
+		}
+		routed[ci] = shards
+	})
+	built := make([]map[string][]Tuple, workers)
+	par.Do(workers, workers, func(si int) {
+		m := map[string][]Tuple{}
+		for ci := 0; ci < nchunks; ci++ {
+			for _, e := range routed[ci][si] {
+				m[e.key] = append(m[e.key], e.t)
+			}
+		}
+		built[si] = m
+	})
+	j.buildShards = built
+	j.innerPending = nil
+}
+
+// innerMatches returns the build-side tuples for key k under either build
+// regime.
+func (j *HashJoinOp) innerMatches(k string) []Tuple {
+	if j.buildShards != nil {
+		return j.buildShards[hashPartition(k, len(j.buildShards))][k]
+	}
+	return j.buildKey[k]
 }
 
 // SetInnerEdge marks which producer edge carries the build side; called by
@@ -111,12 +197,14 @@ var _ Operator = (*HashJoinOp)(nil)
 // Finish probes any outers still buffered (possible when the inner edge was
 // idle this generation) and releases cycle state.
 func (j *HashJoinOp) Finish(c *Cycle) {
+	j.buildParallel(c) // inner batches with no EOS seen yet (defensive)
 	for _, b := range j.pending {
 		j.probeBatch(c, b)
 	}
 	j.pending = nil
 	j.buildKey = nil
 	j.buildQID = nil
+	j.buildShards = nil
 }
 
 func (j *HashJoinOp) probeBatch(c *Cycle, b *Batch) {
@@ -136,7 +224,7 @@ func (j *HashJoinOp) probeBatch(c *Cycle, b *Batch) {
 			continue
 		}
 		k := keyOf(t.Row, cfg.KeyCols)
-		for _, it := range j.buildKey[k] {
+		for _, it := range j.innerMatches(k) {
 			qs := t.QS.Intersect(it.QS)
 			if !qs.Empty() {
 				c.Emit(cfg.OutStream, t.Row.Concat(it.Row), qs)

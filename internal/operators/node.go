@@ -97,6 +97,7 @@ type CycleStart struct {
 	TS              uint64 // storage snapshot for this generation
 	Tasks           []Task // per-query activations at this node
 	ActiveProducers int    // producer edges that will send EOS this cycle
+	Workers         int    // intra-operator parallelism budget (<=1 = serial)
 	OnDone          func() // optional completion callback (used by sinks)
 }
 
@@ -113,6 +114,14 @@ type Cycle struct {
 	Gen   uint64
 	TS    uint64
 	Tasks []Task
+
+	// Workers is the worker-pool budget for this cycle: blocking operators
+	// may fan their Finish phase (partitioned sort, partitioned aggregation,
+	// join build) out to up to this many goroutines, and scan sources split
+	// the table across it. <= 1 means strictly serial execution — the
+	// contract is that Workers=1 output is byte-identical to the engine
+	// before intra-operator parallelism existed.
+	Workers int
 
 	node *Node
 	em   *emitter
@@ -213,7 +222,7 @@ func (n *Node) run() {
 // returns messages and cycle starts belonging to future generations; ok is
 // false when the inbox closed mid-cycle (shutdown).
 func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (future []Message, nextStarts []*CycleStart, ok bool) {
-	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, node: n, em: newEmitter(n, cs.Gen)}
+	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: cs.Workers, node: n, em: newEmitter(n, cs.Gen)}
 	ids := make([]queryset.QueryID, len(cs.Tasks))
 	for i, t := range cs.Tasks {
 		ids[i] = t.Query

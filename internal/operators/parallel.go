@@ -1,0 +1,81 @@
+package operators
+
+import (
+	"sort"
+
+	"shareddb/internal/par"
+)
+
+// Data-parallel helpers for the blocking operators' Finish phases (paper
+// §4.2: "blocking operators ... can be easily parallelized by partitioning
+// the data"). The design constraint throughout is that parallel execution
+// must be observationally identical per query to serial execution: sorts
+// keep exact stable order, aggregations keep per-group input order (float
+// sums accumulate in the same sequence), and joins keep per-key build order.
+
+// minParallelSortLen is the input size below which a parallel sort is not
+// worth the fork/join overhead and the serial stable sort runs instead.
+const minParallelSortLen = 1024
+
+// minParallelAggLen is the buffered-tuple count below which the group-by
+// aggregation and the join build fall back to their serial paths: small
+// generations (the common case) would otherwise pay per-tuple entry
+// allocations and two fork/joins for nothing. A var so tests can lower it
+// to exercise the parallel paths with small inputs.
+var minParallelAggLen = 1024
+
+// stableSortTuples sorts tuples by less with the exact semantics of
+// sort.SliceStable. With workers > 1 and enough input it runs a partitioned
+// sort: contiguous chunks are stable-sorted in parallel and then k-way
+// merged, breaking ties toward the lower chunk index — which reproduces the
+// serial stable order bit-for-bit.
+func stableSortTuples(tuples []sortedTuple, less func(a, b *sortedTuple) bool, workers int) []sortedTuple {
+	n := len(tuples)
+	if workers <= 1 || n < minParallelSortLen {
+		sort.SliceStable(tuples, func(i, j int) bool { return less(&tuples[i], &tuples[j]) })
+		return tuples
+	}
+	bounds := par.Split(n, workers)
+	chunks := make([][]sortedTuple, len(bounds)-1)
+	par.Do(workers, len(chunks), func(i int) {
+		c := tuples[bounds[i]:bounds[i+1]]
+		sort.SliceStable(c, func(a, b int) bool { return less(&c[a], &c[b]) })
+		chunks[i] = c
+	})
+	// K-way merge. Ties resolve to the lowest chunk index (only a strictly
+	// smaller head displaces the current best), so equal keys are emitted in
+	// original arrival order — the stability contract.
+	out := make([]sortedTuple, 0, n)
+	heads := make([]int, len(chunks))
+	for len(out) < n {
+		best := -1
+		for ci := range chunks {
+			if heads[ci] >= len(chunks[ci]) {
+				continue
+			}
+			if best < 0 || less(&chunks[ci][heads[ci]], &chunks[best][heads[best]]) {
+				best = ci
+			}
+		}
+		out = append(out, chunks[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// hashPartition returns the partition in [0, parts) for a hash-table key,
+// using FNV-1a over the encoded key bytes. Group and join parallel builds
+// partition *by key*, so each group/build bucket is owned by exactly one
+// worker and no cross-worker combine of per-key state is ever needed.
+func hashPartition(key string, parts int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(parts))
+}

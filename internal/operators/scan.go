@@ -22,14 +22,17 @@ type ScanSpec struct {
 	Pred expr.Expr
 }
 
-// Start runs the shared scan for the cycle's queries.
+// Start runs the shared scan for the cycle's queries. With a worker budget
+// above 1 the cycle runs the partition-parallel ClockScan: contiguous row
+// ranges are matched on separate workers and merged back in row order, so
+// downstream operators observe the same tuple sequence as the serial scan.
 func (s *ScanOp) Start(c *Cycle) {
 	clients := make([]storage.ScanClient, 0, len(c.Tasks))
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(ScanSpec)
 		clients = append(clients, storage.ScanClient{ID: t.Query, Pred: spec.Pred})
 	}
-	s.Table.SharedScan(c.TS, clients, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+	s.Table.SharedScanPartitioned(c.TS, clients, c.Workers, func(_ storage.RowID, row types.Row, qs queryset.Set) {
 		c.Emit(s.OutStream, row, qs)
 	})
 }

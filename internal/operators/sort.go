@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"shareddb/internal/expr"
+	"shareddb/internal/par"
 	"shareddb/internal/queryset"
 	"shareddb/internal/types"
 )
@@ -135,6 +136,32 @@ func (s *SortOp) Finish(c *Cycle) {
 			q := sr.t.QS.IDs()[0]
 			partitions[q] = append(partitions[q], sr)
 		}
+		if c.Workers > 1 && len(partitions) > 1 {
+			// Data-parallel Finish (paper §4.2): the query partitions are
+			// already disjoint, so each one sorts on its own worker; emission
+			// stays on the cycle goroutine (the emitter is not concurrent).
+			qids := make([]queryset.QueryID, 0, len(partitions))
+			for q := range partitions {
+				qids = append(qids, q)
+			}
+			sort.Slice(qids, func(a, b int) bool { return qids[a] < qids[b] })
+			parts := make([][]sortedTuple, len(qids))
+			par.Do(c.Workers, len(qids), func(i int) {
+				part := partitions[qids[i]]
+				sort.SliceStable(part, func(a, b int) bool { return less(&part[a], &part[b]) })
+				if lim := st.limits[qids[i]]; lim > 0 && len(part) > lim {
+					part = part[:lim]
+				}
+				parts[i] = part
+			})
+			for _, part := range parts {
+				for _, sr := range part {
+					c.Emit(s.Streams[sr.stream].OutStream, sr.t.Row, sr.t.QS)
+				}
+			}
+			c.opState = nil
+			return
+		}
 		for q, part := range partitions {
 			sort.SliceStable(part, func(a, b int) bool { return less(&part[a], &part[b]) })
 			lim := st.limits[q]
@@ -149,7 +176,7 @@ func (s *SortOp) Finish(c *Cycle) {
 		return
 	}
 
-	sort.SliceStable(st.tuples, func(a, b int) bool { return less(&st.tuples[a], &st.tuples[b]) })
+	st.tuples = stableSortTuples(st.tuples, less, c.Workers)
 	counts := map[queryset.QueryID]int{}
 	remaining := 0
 	unlimited := false

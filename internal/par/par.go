@@ -1,0 +1,91 @@
+// Package par is the engine's worker-pool execution layer: a minimal
+// data-parallel fork/join primitive shared by the storage manager (the
+// partitioned ClockScan of Crescando, paper §4.4) and the blocking shared
+// operators (the data-parallel Finish phases of §4.2). The paper pins worker
+// threads to cores; here the degree of parallelism is a per-cycle worker
+// count resolved from Config.Workers, and goroutines stand in for pinned
+// threads.
+//
+// The contract every caller relies on: Do(workers, n, fn) runs fn(0..n-1) to
+// completion before returning, fn invocations may run concurrently on up to
+// `workers` goroutines, and with workers <= 1 everything runs sequentially
+// on the calling goroutine in index order — which is how Workers=1 keeps the
+// engine byte-identical to serial execution.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers configuration value: 0 selects GOMAXPROCS
+// (the paper's "one worker per core"), negative values clamp to 1 (serial).
+func Resolve(workers int) int {
+	if workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// Do runs fn(i) for every i in [0, n), using up to `workers` goroutines
+// (including the calling goroutine), and returns once all invocations have
+// completed. Tasks are claimed from a shared atomic counter, so callers that
+// want deterministic work assignment should make fn(i) own partition i
+// outright and write only to i-indexed state. With workers <= 1 (or n <= 1)
+// the calls happen sequentially in index order on the caller's goroutine.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Split partitions [0, n) into at most `parts` contiguous ranges of
+// near-equal size and returns the range boundaries: bounds[i] .. bounds[i+1]
+// is partition i. Contiguity is what lets the partitioned ClockScan merge
+// per-partition output back into global row order by plain concatenation.
+func Split(n, parts int) []int {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		bounds[i] = n * i / parts
+	}
+	return bounds
+}

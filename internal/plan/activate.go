@@ -64,6 +64,10 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple fu
 		return c
 	}
 
+	workers := p.workers
+	if workers < 1 {
+		workers = 1
+	}
 	p.SinkOp.SetHandler(gen, onTuple)
 	// The sink is the last node to finish a generation (every active node's
 	// EOS must reach it), so by the time its cycle completes every emitter
@@ -77,12 +81,14 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple fu
 	p.sink.Inbox().Push(operators.Message{Ctrl: &operators.CycleStart{
 		Gen: gen, TS: ts,
 		ActiveProducers: activeProducers(p.sink),
+		Workers:         workers,
 		OnDone:          done,
 	}})
 	for n, nt := range tasks {
 		n.Inbox().Push(operators.Message{Ctrl: &operators.CycleStart{
 			Gen: gen, TS: ts, Tasks: nt,
 			ActiveProducers: activeProducers(n),
+			Workers:         workers,
 		}})
 	}
 	p.mu.Unlock()

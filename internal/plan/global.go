@@ -55,6 +55,7 @@ type GlobalPlan struct {
 	nextNodeID int
 	nextStream int
 	started    bool
+	workers    int // per-cycle intra-operator parallelism (<=1 = serial)
 
 	streams map[int]*streamInfo
 
@@ -154,6 +155,28 @@ func (p *GlobalPlan) edge(from, to *operators.Node) *operators.Edge {
 	e := operators.Connect(from, to)
 	p.edges[key] = e
 	return e
+}
+
+// SetWorkers sets the worker-pool budget handed to every operator cycle
+// (partitioned scans and data-parallel Finish phases). Values below 1 clamp
+// to 1 (strictly serial — byte-identical to the pre-parallel engine).
+func (p *GlobalPlan) SetWorkers(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	p.workers = n
+}
+
+// Workers returns the configured per-cycle parallelism budget.
+func (p *GlobalPlan) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.workers < 1 {
+		return 1
+	}
+	return p.workers
 }
 
 // Start launches every operator goroutine (idempotent).

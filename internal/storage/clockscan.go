@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"shareddb/internal/expr"
+	"shareddb/internal/par"
 	"shareddb/internal/queryset"
 	"shareddb/internal/types"
 )
@@ -163,6 +164,65 @@ func (t *Table) SharedScan(ts uint64, clients []ScanClient, emit func(rid RowID,
 		}
 		return true
 	})
+}
+
+// scanHit is one row emitted by a scan partition, buffered so that
+// per-partition output can be replayed in global row order.
+type scanHit struct {
+	rid RowID
+	row types.Row
+	qs  queryset.Set
+}
+
+// SharedScanPartitioned is the partition-parallel ClockScan (Crescando runs
+// one scan thread per core over a partition of the table; paper §4.4). The
+// table's row slots are split into `workers` contiguous ranges, every worker
+// runs the same shared predicate index over its own range, and the
+// per-partition hits are then emitted in partition order — which, because
+// partitions are contiguous and ordered, is exactly the RowID order the
+// serial scan produces. workers <= 1 falls back to the serial SharedScan, so
+// Workers=1 engines are byte-identical to the pre-parallel engine.
+//
+// The table read lock is held across the whole parallel pass (writers of
+// later generations block, readers proceed); emission happens after the lock
+// is released — version rows are immutable, so handing them out lock-free is
+// safe.
+func (t *Table) SharedScanPartitioned(ts uint64, clients []ScanClient, workers int, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	if len(clients) == 0 {
+		return
+	}
+	if workers <= 1 {
+		t.SharedScan(ts, clients, emit)
+		return
+	}
+	pi := buildPredIndex(clients)
+	t.mu.RLock()
+	bounds := par.Split(len(t.slots), workers)
+	parts := make([][]scanHit, len(bounds)-1)
+	par.Do(workers, len(parts), func(w int) {
+		var buf []queryset.QueryID
+		// Assume a selective batch (most rows match someone when any client
+		// has no predicate, few otherwise); growth handles the rest.
+		hits := make([]scanHit, 0, (bounds[w+1]-bounds[w])/4+16)
+		for rid := bounds[w]; rid < bounds[w+1]; rid++ {
+			for v := t.slots[rid]; v != nil; v = v.older {
+				if v.beginTS <= ts && ts < v.endTS {
+					buf = pi.match(v.row, buf[:0])
+					if len(buf) > 0 {
+						hits = append(hits, scanHit{rid: RowID(rid), row: v.row, qs: queryset.Of(buf...)})
+					}
+					break
+				}
+			}
+		}
+		parts[w] = hits
+	})
+	t.mu.RUnlock()
+	for _, hits := range parts {
+		for _, h := range hits {
+			emit(h.rid, h.row, h.qs)
+		}
+	}
 }
 
 // SharedScanNaive answers the same question without the predicate index:

@@ -20,6 +20,12 @@
 // pipelining never changes results — set MaxInFlightGenerations to 1 for
 // strictly serial generations.
 //
+// Within a generation, Config.Workers (default GOMAXPROCS) sets the
+// intra-operator worker pool: table scans run as partition-parallel
+// ClockScans and the blocking operators (sort, group-by, join build) run
+// data-parallel Finish phases. Workers = 1 is strictly serial; per-query
+// results are identical at any setting.
+//
 // Basic usage:
 //
 //	db, _ := shareddb.Open(shareddb.Config{})
@@ -61,6 +67,13 @@ type Config struct {
 	// generation order; only read phases overlap, each at its own
 	// snapshot.
 	MaxInFlightGenerations int
+	// Workers is the intra-operator parallelism budget: each generation's
+	// shared table scans run as partition-parallel ClockScans and the
+	// blocking shared operators (sort, group-by, join build) run
+	// data-parallel Finish phases on up to this many workers. 0 selects
+	// GOMAXPROCS (one worker per core); 1 or negative runs strictly
+	// serial. Per-query results are identical at any setting.
+	Workers int
 	// WALDir enables durability (write-ahead log + checkpoints).
 	WALDir string
 	// SyncWAL fsyncs the log on every commit batch.
@@ -85,6 +98,7 @@ func Open(cfg Config) (*DB, error) {
 		Heartbeat:              cfg.Heartbeat,
 		MaxBatch:               cfg.MaxBatch,
 		MaxInFlightGenerations: cfg.MaxInFlightGenerations,
+		Workers:                cfg.Workers,
 	})
 	return &DB{store: store, plan: gp, engine: eng}, nil
 }
