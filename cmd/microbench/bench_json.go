@@ -1,0 +1,206 @@
+package main
+
+// The -json mode: a machine-readable micro-benchmark baseline
+// (BENCH_*.json) covering the shared engine's hot paths — scan, join, sort
+// and the TPC-W interaction mix — with ops/sec, ns/op, B/op and allocs/op
+// per bench. Future PRs diff their own run against the committed
+// BENCH_baseline.json to keep a perf trajectory (see README "Memory
+// discipline" for how to read the numbers).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"shareddb/internal/core"
+	"shareddb/internal/experiments"
+	"shareddb/internal/plan"
+	"shareddb/internal/storage"
+	"shareddb/internal/tpcw"
+	"shareddb/internal/types"
+)
+
+// benchRecord is one benchmark's measurements.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Ops         int     `json:"ops"`            // completed benchmark iterations
+	Unit        string  `json:"unit"`           // what one iteration is
+	NsPerOp     float64 `json:"ns_per_op"`      // wall time per iteration
+	OpsPerSec   float64 `json:"ops_per_sec"`    // 1e9 / ns_per_op
+	BytesPerOp  int64   `json:"b_per_op"`       // heap bytes allocated per iteration
+	AllocsPerOp int64   `json:"allocs_per_op"`  // heap allocations per iteration
+	QueriesPerX int     `json:"queries_per_op"` // queries executed per iteration (batch size; 1 for mix)
+}
+
+// benchReport is the file layout of BENCH_*.json.
+type benchReport struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	Procs  int    `json:"gomaxprocs"`
+	Config struct {
+		Items     int   `json:"items"`
+		Customers int   `json:"customers"`
+		Workers   int   `json:"workers"`
+		Seed      int64 `json:"seed"`
+	} `json:"config"`
+	Results []benchRecord `json:"results"`
+}
+
+// jsonBatch is the batch size for the per-operator benches: large enough
+// that sharing engages (one generation answers the whole batch).
+const jsonBatch = 64
+
+func record(name, description, unit string, queriesPerOp int, r testing.BenchmarkResult) benchRecord {
+	ns := float64(r.NsPerOp())
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return benchRecord{
+		Name: name, Description: description, Ops: r.N, Unit: unit,
+		NsPerOp: ns, OpsPerSec: ops,
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		QueriesPerX: queriesPerOp,
+	}
+}
+
+// benchStatement measures one prepared statement executed in concurrent
+// batches of jsonBatch (one op = one batch = roughly one generation).
+func benchStatement(e *core.Engine, s *plan.Statement, mkParams func(i int) []types.Value) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			results := make([]*core.Result, jsonBatch)
+			for j := 0; j < jsonBatch; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					res := e.Submit(s, mkParams(j))
+					res.Wait()
+					results[j] = res
+				}(j)
+			}
+			wg.Wait()
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+}
+
+// runJSONBench produces the benchmark report on stdout.
+func runJSONBench(opts experiments.Options) error {
+	var report benchReport
+	report.Schema = "shareddb-microbench/v1"
+	report.Go = runtime.Version()
+	report.Procs = runtime.GOMAXPROCS(0)
+	report.Config.Items = opts.Scale.Items
+	report.Config.Customers = opts.Scale.Customers
+	report.Config.Workers = opts.Workers
+	report.Config.Seed = opts.Seed
+
+	// Per-operator benches on a dedicated engine over a fresh TPC-W load.
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if _, err := tpcw.Setup(db, opts.Scale, opts.Seed); err != nil {
+		return err
+	}
+	gp := plan.New(db)
+	eng := core.New(db, gp, core.Config{Workers: opts.Workers})
+	defer eng.Close()
+
+	stmts := []struct {
+		name, desc, sql string
+		mkParams        func(i int) []types.Value
+	}{
+		{
+			"scan", "shared ClockScan: LIKE predicate batch over item",
+			`SELECT i_id, i_title FROM item WHERE i_title LIKE ?`,
+			func(i int) []types.Value {
+				return []types.Value{types.NewString(fmt.Sprintf("Title %02d%%", i%100))}
+			},
+		},
+		{
+			"join", "shared join: item ⋈ author with per-query range predicate",
+			`SELECT item.i_id, author.a_lname FROM item, author
+			 WHERE item.i_a_id = author.a_id AND item.i_cost > ?`,
+			func(i int) []types.Value {
+				return []types.Value{types.NewFloat(float64(i%80) + 10)}
+			},
+		},
+		{
+			"sort", "shared sort/Top-N: full item scan ORDER BY title LIMIT 50",
+			`SELECT i_id, i_title FROM item ORDER BY i_title LIMIT 50`,
+			func(int) []types.Value { return nil },
+		},
+	}
+	for _, sp := range stmts {
+		stmt, err := eng.Prepare(sp.sql)
+		if err != nil {
+			return fmt.Errorf("prepare %s: %w", sp.name, err)
+		}
+		r := benchStatement(eng, stmt, sp.mkParams)
+		report.Results = append(report.Results,
+			record(sp.name, sp.desc, fmt.Sprintf("batch of %d queries", jsonBatch), jsonBatch, r))
+	}
+
+	// TPC-W interaction mix on a fresh environment (its writes must not
+	// skew the per-operator data above).
+	env, err := experiments.NewEnv(experiments.SharedDB, opts.Scale, opts.Seed, opts.Workers)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	mixResult := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var mu sync.Mutex
+		var seed int64
+		weights := tpcw.Shopping.Weights()
+		var cum [tpcw.NumInteractions]float64
+		total := 0.0
+		for i, w := range weights {
+			total += w
+			cum[i] = total
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			mu.Lock()
+			seed++
+			sess := tpcw.NewSession(env.Sys, env.Scale, env.IDs, seed)
+			mu.Unlock()
+			for pb.Next() {
+				pick := sess.Rng.Float64() * total
+				inter := tpcw.Interaction(0)
+				for i := tpcw.Interaction(0); i < tpcw.NumInteractions; i++ {
+					if pick <= cum[i] {
+						inter = i
+						break
+					}
+				}
+				if err := sess.Run(inter); err != nil {
+					if errors.Is(err, storage.ErrConflict) || errors.Is(err, storage.ErrUniqueViolate) {
+						continue // SI write-write conflict: a real client retries
+					}
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	report.Results = append(report.Results,
+		record("tpcw_mix", "TPC-W Shopping mix, concurrent sessions", "interaction", 1, mixResult))
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	return out.Encode(report)
+}

@@ -3,6 +3,8 @@
 //
 //	microbench -fig 10     batch response time: light vs heavy queries
 //	microbench -fig 11     load interaction between light and heavy queries
+//	microbench -json       machine-readable scan/join/sort/TPC-W-mix baseline
+//	                       (the BENCH_*.json perf-trajectory artifact)
 //
 // See EXPERIMENTS.md for recorded outputs.
 package main
@@ -29,6 +31,7 @@ func main() {
 	window := flag.Duration("window", 2*time.Second, "measurement window per data point")
 	seed := flag.Int64("seed", 2012, "data generator seed")
 	workers := flag.Int("workers", 0, "SharedDB intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable scan/join/sort/TPC-W-mix benchmark baseline on stdout")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -36,6 +39,11 @@ func main() {
 		PointDuration: *window,
 		Seed:          *seed,
 		Workers:       *workers,
+	}
+
+	if *jsonOut {
+		exitOn(runJSONBench(opts))
+		return
 	}
 
 	switch *fig {

@@ -27,6 +27,26 @@ import (
 func TestPipelinedGenerationsOverlap(t *testing.T) {
 	db, closeDB := bookstore(t)
 	defer closeDB()
+	// Pad the item table so a LIKE scan cycle takes long enough for the
+	// dispatcher to admit the next generation (the allocation-free scan
+	// path made the 100-row fixture cycle faster than the dispatch loop).
+	var pad []storage.WriteOp
+	for i := int64(1000); i < 9000; i++ {
+		pad = append(pad, storage.WriteOp{Table: "item", Kind: storage.WInsert,
+			Row: types.Row{
+				types.NewInt(i),
+				types.NewString(fmt.Sprintf("Padding %04d", i)),
+				types.NewInt(i % 20),
+				types.NewString("ARTS"),
+				types.NewFloat(1),
+			}})
+	}
+	padRes, _ := db.ApplyOps(pad)
+	for _, r := range padRes {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
 	gp := plan.New(db)
 	e := New(db, gp, Config{MaxInFlightGenerations: 4})
 	defer e.Close()
@@ -38,9 +58,12 @@ func TestPipelinedGenerationsOverlap(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	var results []*Result
 	for {
+		// Back-to-back bursts keep a standing backlog: the dispatcher forms
+		// the next generation while the previous one's read phase is still
+		// draining in the plan.
 		for i := 0; i < 8; i++ {
 			results = append(results, e.Submit(s, []types.Value{types.NewString("%1%")}))
-			time.Sleep(200 * time.Microsecond) // let the dispatcher drain between submissions
+			time.Sleep(50 * time.Microsecond) // let the dispatcher drain between submissions
 		}
 		if _, peak := e.InFlightGenerations(); peak > 1 {
 			break

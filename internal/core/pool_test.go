@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"shareddb/internal/par"
+	"shareddb/internal/plan"
+	"shareddb/internal/types"
+)
+
+// Engine-level checks of the memory-discipline machinery: the plan-wide
+// batch pool must actually recycle across generations on both the serial
+// and the parallel worker paths, and the adaptive worker budget must keep
+// tiny steady-state generations from forking goroutines.
+
+func TestBatchPoolReuseAcrossGenerations(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db, closeDB := bookstore(t)
+			defer closeDB()
+			gp := plan.New(db)
+			e := New(db, gp, Config{Workers: workers, MaxInFlightGenerations: 1})
+			defer e.Close()
+			s := mustPrepare(t, e, "SELECT i_id FROM item WHERE i_title LIKE ?")
+			for i := 0; i < 12; i++ {
+				run(t, e, s, types.NewString("%1%"))
+			}
+			gets, reuses := gp.PoolStats()
+			if gets == 0 {
+				t.Fatal("no batches drawn from the pool")
+			}
+			if reuses == 0 {
+				t.Errorf("no batch reuse across %d generations (gets=%d)", 12, gets)
+			}
+			// Steady state: all but the first generation's batches recycle.
+			if float64(reuses) < 0.5*float64(gets) {
+				t.Errorf("reuse rate %d/%d below 50%%", reuses, gets)
+			}
+		})
+	}
+}
+
+// TestTinyGenerationsStaySerial pins the adaptive worker budget end to end:
+// once a node has seen one tiny cycle, later tiny cycles run serial — no
+// worker goroutines are forked anywhere in the plan — even under a large
+// configured budget.
+func TestTinyGenerationsStaySerial(t *testing.T) {
+	db, closeDB := bookstore(t) // 100-row item table: every cycle is tiny
+	defer closeDB()
+	gp := plan.New(db)
+	e := New(db, gp, Config{Workers: 8, MaxInFlightGenerations: 1})
+	defer e.Close()
+	// Group output has singleton query sets, so a multi-query sort cycle is
+	// exactly the shape that would fork per-query partition sorts without
+	// the adaptive clamp.
+	s := mustPrepare(t, e, "SELECT i_subject, COUNT(*) FROM item GROUP BY i_subject ORDER BY i_subject")
+
+	wave := func() {
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := e.Submit(s, nil)
+				if err := res.Wait(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Warm-up generations: first cycles have no input-size history and may
+	// fork under the configured budget.
+	for i := 0; i < 3; i++ {
+		wave()
+	}
+	before := par.Forks()
+	for i := 0; i < 10; i++ {
+		wave()
+	}
+	if forked := par.Forks() - before; forked != 0 {
+		t.Errorf("steady-state tiny generations forked %d workers, want 0", forked)
+	}
+}

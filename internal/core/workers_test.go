@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"shareddb/internal/operators"
 	"shareddb/internal/plan"
 	"shareddb/internal/types"
 )
@@ -118,6 +119,9 @@ func runWorkload(t *testing.T, workers int) map[string][][]string {
 }
 
 func TestWorkersSerialParallelIdentical(t *testing.T) {
+	// Keep the test-sized fixture on the parallel operator paths: the
+	// adaptive budget would otherwise serialize every cycle after the first.
+	t.Cleanup(operators.DisableAdaptiveWorkersForTest())
 	serial := runWorkload(t, 1)
 	for _, workers := range []int{2, 4} {
 		parallel := runWorkload(t, workers)
@@ -148,6 +152,9 @@ func TestWorkersSerialParallelIdentical(t *testing.T) {
 // each generation reads its own pinned snapshot regardless of how many
 // workers scan it.
 func TestWorkersWithPipelinedWrites(t *testing.T) {
+	// Keep the test-sized fixture on the parallel operator paths: the
+	// adaptive budget would otherwise serialize every cycle after the first.
+	t.Cleanup(operators.DisableAdaptiveWorkersForTest())
 	db, closeDB := bookstore(t)
 	defer closeDB()
 	gp := plan.New(db)

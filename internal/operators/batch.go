@@ -11,6 +11,11 @@
 // plan (e.g. the shared sort of Figure 2 sorts both join output for Q4 and
 // bare Items tuples for Q5), batches are tagged with a stream identifier and
 // operators hold per-stream configuration (schemas, key extractors).
+//
+// Memory discipline (README "Memory discipline"): batches and the query-id
+// arenas backing their tuples' sets are pooled (BatchPool) and recycled
+// along generation-drain boundaries, so the steady-state heartbeat cycle
+// performs no per-tuple heap allocation on the routing path.
 package operators
 
 import (
@@ -26,10 +31,24 @@ type Tuple struct {
 }
 
 // Batch is a vector of tuples from one stream. All tuples of a batch share
-// the stream's schema.
+// the stream's schema. Pooled batches own the arena their tuples' query
+// sets live in: tuples and sets die together when the batch is recycled.
 type Batch struct {
 	Stream int
 	Tuples []Tuple
+
+	arena    queryset.Arena // backs the Tuples' query sets (pooled batches)
+	pooled   bool           // born from a BatchPool: eligible for recycling
+	retained bool           // consumer kept references past Consume (released after Finish)
+}
+
+// reset clears the batch for reuse, dropping row references so the pooled
+// buffer does not pin row memory.
+func (b *Batch) reset() {
+	clear(b.Tuples)
+	b.Tuples = b.Tuples[:0]
+	b.arena.Reset()
+	b.retained = false
 }
 
 // batchSize is the target vector length.
@@ -44,6 +63,11 @@ const batchSize = 1024
 // pipelined execution the coordinator installs future generations' sets
 // while this node is mid-cycle, and downstream nodes may still be draining
 // older generations.
+//
+// The emitter is reused across a node's cycles (a node runs one cycle at a
+// time), and its batches come from the plan's BatchPool: the intersection
+// routing a tuple to an edge is computed directly into the target batch's
+// id arena, so steady-state emission allocates nothing.
 type emitter struct {
 	node *Node
 	gen  uint64
@@ -54,14 +78,17 @@ type emitter struct {
 	bufs []map[int]*Batch
 }
 
-func newEmitter(n *Node, gen uint64) *emitter {
-	bufs := make([]map[int]*Batch, len(n.Consumers))
-	eq := make([]queryset.Set, len(n.Consumers))
-	for i, edge := range n.Consumers {
-		bufs[i] = map[int]*Batch{}
-		eq[i] = edge.QueriesFor(gen)
+// reset prepares the node's reusable emitter for a new cycle.
+func (e *emitter) reset(n *Node, gen uint64) {
+	e.node = n
+	e.gen = gen
+	for len(e.bufs) < len(n.Consumers) {
+		e.bufs = append(e.bufs, map[int]*Batch{})
 	}
-	return &emitter{node: n, gen: gen, edgeQueries: eq, bufs: bufs}
+	e.edgeQueries = e.edgeQueries[:0]
+	for _, edge := range n.Consumers {
+		e.edgeQueries = append(e.edgeQueries, edge.QueriesFor(gen))
+	}
 }
 
 // emit routes one tuple to every interested consumer.
@@ -70,14 +97,21 @@ func (e *emitter) emit(stream int, row types.Row, qs queryset.Set) {
 		if i >= len(e.edgeQueries) {
 			break // edge added after cycle start: not active this cycle
 		}
-		sub := qs.Intersect(e.edgeQueries[i])
-		if sub.Empty() {
+		eq := e.edgeQueries[i]
+		if eq.Empty() {
 			continue
 		}
 		b := e.bufs[i][stream]
 		if b == nil {
-			b = &Batch{Stream: stream, Tuples: make([]Tuple, 0, batchSize)}
+			if !qs.Intersects(eq) {
+				continue
+			}
+			b = e.node.pool.Get(stream)
 			e.bufs[i][stream] = b
+		}
+		sub := b.arena.Intersect(qs, eq)
+		if sub.Empty() {
+			continue
 		}
 		b.Tuples = append(b.Tuples, Tuple{Row: row, QS: sub})
 		if len(b.Tuples) >= batchSize {
@@ -96,12 +130,16 @@ func (e *emitter) flushEOS() {
 		if i >= len(e.edgeQueries) || e.edgeQueries[i].Empty() {
 			continue
 		}
-		for _, b := range e.bufs[i] {
-			if b != nil && len(b.Tuples) > 0 {
-				edge.To.inbox.Push(Message{Gen: e.gen, Edge: edge, Batch: b})
+		for s, b := range e.bufs[i] {
+			if b != nil {
+				if len(b.Tuples) > 0 {
+					edge.To.inbox.Push(Message{Gen: e.gen, Edge: edge, Batch: b})
+				} else {
+					e.node.pool.Put(b)
+				}
+				delete(e.bufs[i], s)
 			}
 		}
-		e.bufs[i] = map[int]*Batch{}
 		edge.To.inbox.Push(Message{Gen: e.gen, Edge: edge, EOS: true})
 	}
 }

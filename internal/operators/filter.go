@@ -12,8 +12,13 @@ import (
 // boxes of the paper's TPC-W global plan (Figure 6). Each tuple is tested
 // once per subscribed query (the predicate differs per query; only the
 // tuple flow is shared), and its query set is narrowed to the survivors.
-// Filters are streaming: schemas pass through unchanged.
-type FilterOp struct{}
+// Filters are streaming: schemas pass through unchanged. The narrowed
+// query set is computed into a reusable operator scratch (the emitter
+// copies the survivors into its batch arena), so the per-tuple filter path
+// allocates nothing in steady state.
+type FilterOp struct {
+	qsScratch []queryset.QueryID
+}
 
 // FilterSpec is the per-query activation: the bound predicate over the
 // schema of the stream this query's tuples arrive on.
@@ -37,13 +42,15 @@ func (f *FilterOp) Start(c *Cycle) {
 // satisfies.
 func (f *FilterOp) Consume(c *Cycle, b *Batch) {
 	st := c.opState.(*filterState)
-	for _, t := range b.Tuples {
-		qs := t.QS.Retain(func(q queryset.QueryID) bool {
+	for ti := range b.Tuples {
+		t := &b.Tuples[ti]
+		qs := t.QS.RetainInto(func(q queryset.QueryID) bool {
 			if int(q) >= len(st.preds) {
 				return true // query not registered here: pass through
 			}
 			return expr.TruthyEval(st.preds[q], t.Row, nil)
-		})
+		}, f.qsScratch)
+		f.qsScratch = qs.IDs()
 		if !qs.Empty() {
 			c.Emit(b.Stream, t.Row, qs)
 		}

@@ -17,10 +17,22 @@ import (
 // states are kept per (group, query) because each query aggregates only the
 // tuples it subscribed to — this per-query fan-out is the NF2-inherent part
 // of the work and is what the f(o) vs Σf(ni) trade-off of §3.5 is about.
+//
+// Grouping is unboxed: tuples hash into an open-addressed table keyed by a
+// precomputed 64-bit hash of the group key values (collisions verified by
+// value comparison), so the steady-state phase-1 path performs no key
+// encoding and no per-tuple allocation for existing groups. The table and
+// its backing arrays are reused across cycles.
 type GroupOp struct {
 	Streams   map[int]GroupStream
 	Aggs      []AggDef
 	OutStream int
+
+	// st is the per-cycle state, owned by the operator and reused across
+	// cycles (a node runs one cycle at a time).
+	st         groupState
+	keyScratch []types.Value
+	single     [1]queryset.QueryID
 }
 
 // GroupStream configures extraction for one input stream.
@@ -123,6 +135,7 @@ func (a *aggState) result(def AggDef) types.Value {
 }
 
 type groupEntry struct {
+	hash    uint64
 	keyVals []types.Value
 	// perQuery is a dense slice indexed by generation-scoped query id
 	// (nil for queries without state); aggStates for one query are stored
@@ -131,7 +144,7 @@ type groupEntry struct {
 }
 
 type groupState struct {
-	groups  map[string]*groupEntry
+	groups  groupTable
 	having  map[queryset.QueryID]expr.Expr
 	scalar  map[queryset.QueryID]bool
 	emitted map[queryset.QueryID]bool
@@ -144,11 +157,16 @@ type groupState struct {
 
 // Start initializes the cycle's hash table and per-query HAVING predicates.
 func (g *GroupOp) Start(c *Cycle) {
-	st := &groupState{
-		groups:  map[string]*groupEntry{},
-		having:  map[queryset.QueryID]expr.Expr{},
-		scalar:  map[queryset.QueryID]bool{},
-		emitted: map[queryset.QueryID]bool{},
+	st := &g.st
+	st.groups.reset()
+	if st.having == nil {
+		st.having = map[queryset.QueryID]expr.Expr{}
+		st.scalar = map[queryset.QueryID]bool{}
+		st.emitted = map[queryset.QueryID]bool{}
+	} else {
+		clear(st.having)
+		clear(st.scalar)
+		clear(st.emitted)
 	}
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(GroupSpec)
@@ -162,14 +180,16 @@ func (g *GroupOp) Start(c *Cycle) {
 
 // Consume hashes each tuple into its group once and updates the aggregate
 // state of every subscribed query. With a worker budget above 1 the batch is
-// only buffered: the partitioned hash aggregation runs in Finish, where the
-// whole input is known and can be split across workers.
+// only buffered (and retained: the deferred aggregation reads its tuples in
+// Finish): the partitioned hash aggregation runs there, where the whole
+// input is known and can be split across workers.
 func (g *GroupOp) Consume(c *Cycle, b *Batch) {
 	if _, ok := g.Streams[b.Stream]; !ok {
 		return
 	}
 	st := c.opState.(*groupState)
 	if c.Workers > 1 {
+		c.Retain(b)
 		st.pending = append(st.pending, b)
 		return
 	}
@@ -180,22 +200,20 @@ func (g *GroupOp) Consume(c *Cycle, b *Batch) {
 func (g *GroupOp) absorb(st *groupState, b *Batch) {
 	cfg := g.Streams[b.Stream]
 	var argVals [8]types.Value // stack buffer for the common agg counts
-	args := argVals[:0]
+	var args []types.Value
 	if len(g.Aggs) > len(argVals) {
 		args = make([]types.Value, len(g.Aggs))
 	} else {
 		args = argVals[:len(g.Aggs)]
 	}
-	for _, t := range b.Tuples {
-		keyVals := make([]types.Value, len(cfg.GroupCols))
-		for i, col := range cfg.GroupCols {
-			keyVals[i] = t.Row[col]
-		}
-		k := types.EncodeKey(keyVals...)
-		ge := st.groups[k]
+	for ti := range b.Tuples {
+		t := &b.Tuples[ti]
+		keyVals, h := extractKeyHash(t.Row, cfg.GroupCols, g.keyScratch)
+		g.keyScratch = keyVals
+		ge := st.groups.lookup(h, keyVals)
 		if ge == nil {
-			ge = &groupEntry{keyVals: keyVals}
-			st.groups[k] = ge
+			ge = &groupEntry{hash: h, keyVals: append([]types.Value(nil), keyVals...)}
+			st.groups.insert(ge)
 		}
 		// evaluate aggregate arguments once per tuple, shared across
 		// subscribed queries
@@ -252,12 +270,13 @@ func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
 		for _, b := range st.pending {
 			g.absorb(st, b)
 		}
-		st.pending = nil
+		clear(st.pending)
+		st.pending = st.pending[:0]
 		return
 	}
 	workers := c.Workers
 	type entry struct {
-		key     string
+		hash    uint64
 		keyVals []types.Value
 		args    []types.Value
 		qs      queryset.Set
@@ -272,11 +291,10 @@ func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
 			if !ok {
 				continue
 			}
-			for _, t := range b.Tuples {
-				keyVals := make([]types.Value, len(cfg.GroupCols))
-				for i, col := range cfg.GroupCols {
-					keyVals[i] = t.Row[col]
-				}
+			for ti := range b.Tuples {
+				t := &b.Tuples[ti]
+				// nil dst: each buffered entry owns its key values.
+				keyVals, h := extractKeyHash(t.Row, cfg.GroupCols, nil)
 				args := make([]types.Value, len(g.Aggs))
 				for i := range g.Aggs {
 					if i < len(cfg.AggArgs) && cfg.AggArgs[i] != nil {
@@ -285,22 +303,21 @@ func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
 						args[i] = types.NewInt(1) // COUNT(*) marker
 					}
 				}
-				k := types.EncodeKey(keyVals...)
-				h := hashPartition(k, workers)
-				bucketed[h] = append(bucketed[h], entry{key: k, keyVals: keyVals, args: args, qs: t.QS})
+				bi := int(h % uint64(workers))
+				bucketed[bi] = append(bucketed[bi], entry{hash: h, keyVals: keyVals, args: args, qs: t.QS})
 			}
 		}
 		buckets[ci] = bucketed
 	})
-	locals := make([]map[string]*groupEntry, workers)
+	locals := make([]groupTable, workers)
 	par.Do(workers, workers, func(bi int) {
-		m := map[string]*groupEntry{}
+		m := &locals[bi]
 		for ci := 0; ci < nchunks; ci++ {
 			for _, e := range buckets[ci][bi] {
-				ge := m[e.key]
+				ge := m.lookup(e.hash, e.keyVals)
 				if ge == nil {
-					ge = &groupEntry{keyVals: e.keyVals}
-					m[e.key] = ge
+					ge = &groupEntry{hash: e.hash, keyVals: e.keyVals}
+					m.insert(ge)
 				}
 				for _, qid := range e.qs.IDs() {
 					for int(qid) >= len(ge.perQuery) {
@@ -317,25 +334,30 @@ func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
 				}
 			}
 		}
-		locals[bi] = m
 	})
-	for _, m := range locals {
-		for k, ge := range m {
-			st.groups[k] = ge
+	// Buckets are hash-disjoint (a key lives in exactly one), so the local
+	// tables merge into the cycle table by plain insertion, bucket order —
+	// deterministic because bucket assignment and entry order are.
+	for bi := range locals {
+		for _, ge := range locals[bi].entries {
+			st.groups.insert(ge)
 		}
 	}
-	st.pending = nil
+	clear(st.pending)
+	st.pending = st.pending[:0]
 }
 
 // Finish runs phase 2: per (group, query) HAVING evaluation and emission.
 // When Consume buffered input for parallel execution, the partitioned
 // aggregation runs first; emission itself stays on the cycle goroutine.
+// Groups emit in first-arrival order (the insertion order of the unboxed
+// table), making output deterministic across runs.
 func (g *GroupOp) Finish(c *Cycle) {
 	st := c.opState.(*groupState)
 	if len(st.pending) > 0 {
 		g.aggregateParallel(c, st)
 	}
-	for _, ge := range st.groups {
+	for _, ge := range st.groups.entries {
 		for q, states := range ge.perQuery {
 			if states == nil {
 				continue
@@ -350,7 +372,8 @@ func (g *GroupOp) Finish(c *Cycle) {
 				continue
 			}
 			st.emitted[qid] = true
-			c.Emit(g.OutStream, row, queryset.Single(qid))
+			g.single[0] = qid
+			c.Emit(g.OutStream, row, queryset.FromSorted(g.single[:1]))
 		}
 	}
 	// scalar aggregates over empty input produce one row of defaults
@@ -366,7 +389,9 @@ func (g *GroupOp) Finish(c *Cycle) {
 		if h := st.having[qid]; h != nil && !expr.TruthyEval(h, row, nil) {
 			continue
 		}
-		c.Emit(g.OutStream, row, queryset.Single(qid))
+		g.single[0] = qid
+		c.Emit(g.OutStream, row, queryset.FromSorted(g.single[:1]))
 	}
+	st.groups.reset() // drop group state references between cycles
 	c.opState = nil
 }

@@ -28,6 +28,12 @@ type JoinOuter struct {
 // HashJoinOp is the shared hash join. The inner (build) side is the single
 // producer edge InnerEdge; all other producer edges are outer streams.
 //
+// The build table is keyed by a precomputed 64-bit hash of the key columns
+// (open addressing, collision chains verified by value comparison) instead
+// of boxed key strings, and probe-side query-set intersections go through a
+// reusable scratch buffer — the steady-state probe path allocates only its
+// output rows.
+//
 // ByQueryID selects the alternative "set-based" join of §3.3 that hashes the
 // build side on query_id instead of the key (Helmer & Moerkotte [16]); it
 // pays off when per-query inner sets are tiny and is exercised by ablation
@@ -40,8 +46,9 @@ type HashJoinOp struct {
 
 	innerEdge *Edge // producer edge delivering the build side (set by the plan)
 
-	// per-cycle state
-	buildKey  map[string][]Tuple           // key → inner tuples (serial build)
+	// per-cycle state, reused across cycles (a node runs one cycle at a
+	// time)
+	build     joinTable                    // serial build table
 	buildQID  map[queryset.QueryID][]Tuple // query id → inner tuples
 	pending   []*Batch                     // outer batches buffered until build completes
 	innerDone bool
@@ -50,7 +57,11 @@ type HashJoinOp struct {
 	// stream in and the hash table is built in parallel at inner EOS, as
 	// key-hash shards so probes stay lock-free lookups.
 	innerPending []*Batch
-	buildShards  []map[string][]Tuple
+	buildShards  []joinTable
+	shardsActive bool
+
+	qsScratch []queryset.QueryID // probe intersection scratch
+	single    [1]queryset.QueryID
 }
 
 // JoinSpec is the per-query activation of a join. Shared hash joins need no
@@ -60,19 +71,23 @@ type JoinSpec struct{}
 
 // Start resets the cycle state.
 func (j *HashJoinOp) Start(*Cycle) {
-	j.buildKey = map[string][]Tuple{}
+	j.build.reset(j.InnerKeyCols)
 	j.buildQID = map[queryset.QueryID][]Tuple{}
-	j.pending = nil
+	clear(j.pending)
+	j.pending = j.pending[:0]
 	j.innerDone = false
-	j.innerPending = nil
-	j.buildShards = nil
+	j.innerPending = j.innerPending[:0]
+	j.shardsActive = false
 }
 
 // Consume builds from inner batches and probes (or buffers) outer batches.
 // Inner tuples stream into the build phase as they arrive (§3.2: "an
 // operator can stream its output into the build phase of a hash join").
+// Buffered and built-from batches are retained: the build table and pending
+// lists alias their tuples until the cycle finishes.
 func (j *HashJoinOp) Consume(c *Cycle, b *Batch) {
 	if b.Stream == j.InnerStream {
+		c.Retain(b)
 		if c.Workers > 1 && !j.ByQueryID {
 			// Parallel regime: buffer; the build happens in parallel at
 			// inner EOS (buildParallel).
@@ -85,13 +100,13 @@ func (j *HashJoinOp) Consume(c *Cycle, b *Batch) {
 					j.buildQID[qid] = append(j.buildQID[qid], t)
 				}
 			} else {
-				k := keyOf(t.Row, j.InnerKeyCols)
-				j.buildKey[k] = append(j.buildKey[k], t)
+				j.build.insert(hashValues(t.Row, j.InnerKeyCols), t)
 			}
 		}
 		return
 	}
 	if !j.innerDone {
+		c.Retain(b)
 		j.pending = append(j.pending, b)
 		return
 	}
@@ -113,13 +128,14 @@ func (j *HashJoinOp) EdgeEOS(c *Cycle, e *Edge) {
 	for _, b := range j.pending {
 		j.probeBatch(c, b)
 	}
-	j.pending = nil
+	clear(j.pending)
+	j.pending = j.pending[:0]
 }
 
 // buildParallel turns the buffered inner batches into key-hash shards, in
 // parallel (the parallel join build of paper §4.2). Like the group-by's
 // partitioned aggregation, it is a two-step partition/build: workers first
-// extract keys over contiguous chunks of the buffered batches and route
+// hash keys over contiguous chunks of the buffered batches and route
 // tuples to their key-hash shard; then each shard is built by a single
 // worker, appending tuples in chunk order — so every key's match list holds
 // tuples in the same arrival order the serial build produces, and probe
@@ -137,17 +153,16 @@ func (j *HashJoinOp) buildParallel(c *Cycle) {
 		// partition/build fork/join (identical semantics either way).
 		for _, b := range j.innerPending {
 			for _, t := range b.Tuples {
-				k := keyOf(t.Row, j.InnerKeyCols)
-				j.buildKey[k] = append(j.buildKey[k], t)
+				j.build.insert(hashValues(t.Row, j.InnerKeyCols), t)
 			}
 		}
-		j.innerPending = nil
+		j.innerPending = j.innerPending[:0]
 		return
 	}
 	workers := c.Workers
 	type entry struct {
-		key string
-		t   Tuple
+		h uint64
+		t Tuple
 	}
 	chunkBounds := par.Split(len(j.innerPending), workers)
 	nchunks := len(chunkBounds) - 1
@@ -156,34 +171,42 @@ func (j *HashJoinOp) buildParallel(c *Cycle) {
 		shards := make([][]entry, workers)
 		for _, b := range j.innerPending[chunkBounds[ci]:chunkBounds[ci+1]] {
 			for _, t := range b.Tuples {
-				k := keyOf(t.Row, j.InnerKeyCols)
-				s := hashPartition(k, workers)
-				shards[s] = append(shards[s], entry{key: k, t: t})
+				h := hashValues(t.Row, j.InnerKeyCols)
+				s := int(h % uint64(workers))
+				shards[s] = append(shards[s], entry{h: h, t: t})
 			}
 		}
 		routed[ci] = shards
 	})
-	built := make([]map[string][]Tuple, workers)
+	// Size the shard slice to exactly `workers`: probes select a shard by
+	// h % len(buildShards), which must be the same modulus the routing
+	// above used (a stale larger slice from a previous bigger budget would
+	// silently drop matches).
+	if cap(j.buildShards) < workers {
+		j.buildShards = append(j.buildShards[:cap(j.buildShards)],
+			make([]joinTable, workers-cap(j.buildShards))...)
+	}
+	j.buildShards = j.buildShards[:workers]
+	shards := j.buildShards
 	par.Do(workers, workers, func(si int) {
-		m := map[string][]Tuple{}
+		shards[si].reset(j.InnerKeyCols)
 		for ci := 0; ci < nchunks; ci++ {
 			for _, e := range routed[ci][si] {
-				m[e.key] = append(m[e.key], e.t)
+				shards[si].insert(e.h, e.t)
 			}
 		}
-		built[si] = m
 	})
-	j.buildShards = built
-	j.innerPending = nil
+	j.shardsActive = true
+	j.innerPending = j.innerPending[:0]
 }
 
-// innerMatches returns the build-side tuples for key k under either build
-// regime.
-func (j *HashJoinOp) innerMatches(k string) []Tuple {
-	if j.buildShards != nil {
-		return j.buildShards[hashPartition(k, len(j.buildShards))][k]
+// table returns the build table responsible for key hash h under either
+// build regime.
+func (j *HashJoinOp) table(h uint64) *joinTable {
+	if j.shardsActive {
+		return &j.buildShards[int(h%uint64(len(j.buildShards)))]
 	}
-	return j.buildKey[k]
+	return &j.build
 }
 
 // SetInnerEdge marks which producer edge carries the build side; called by
@@ -195,16 +218,23 @@ func (j *HashJoinOp) isInnerEdge(e *Edge) bool { return j.innerEdge == e }
 var _ Operator = (*HashJoinOp)(nil)
 
 // Finish probes any outers still buffered (possible when the inner edge was
-// idle this generation) and releases cycle state.
+// idle this generation) and releases cycle state (dropping tuple
+// references so the retained batches can recycle without pinned rows).
 func (j *HashJoinOp) Finish(c *Cycle) {
 	j.buildParallel(c) // inner batches with no EOS seen yet (defensive)
 	for _, b := range j.pending {
 		j.probeBatch(c, b)
 	}
-	j.pending = nil
-	j.buildKey = nil
+	clear(j.pending)
+	j.pending = j.pending[:0]
+	j.build.reset(j.InnerKeyCols)
 	j.buildQID = nil
-	j.buildShards = nil
+	for i := range j.buildShards {
+		j.buildShards[i].reset(j.InnerKeyCols)
+	}
+	j.shardsActive = false
+	clear(j.innerPending)
+	j.innerPending = j.innerPending[:0]
 }
 
 func (j *HashJoinOp) probeBatch(c *Cycle, b *Batch) {
@@ -212,42 +242,30 @@ func (j *HashJoinOp) probeBatch(c *Cycle, b *Batch) {
 	if !ok {
 		return
 	}
-	for _, t := range b.Tuples {
+	for ti := range b.Tuples {
+		t := &b.Tuples[ti]
 		if j.ByQueryID {
 			for _, qid := range t.QS.IDs() {
 				for _, it := range j.buildQID[qid] {
-					if keysEqual(t.Row, cfg.KeyCols, it.Row, j.InnerKeyCols) {
-						c.Emit(cfg.OutStream, t.Row.Concat(it.Row), queryset.Single(qid))
+					if rowsEqualOn(t.Row, cfg.KeyCols, it.Row, j.InnerKeyCols) {
+						j.single[0] = qid
+						c.Emit(cfg.OutStream, t.Row.Concat(it.Row), queryset.FromSorted(j.single[:1]))
 					}
 				}
 			}
 			continue
 		}
-		k := keyOf(t.Row, cfg.KeyCols)
-		for _, it := range j.innerMatches(k) {
-			qs := t.QS.Intersect(it.QS)
+		h := hashValues(t.Row, cfg.KeyCols)
+		tab := j.table(h)
+		for ei := tab.lookup(h, t.Row, cfg.KeyCols); ei >= 0; ei = tab.entries[ei].next {
+			it := &tab.entries[ei].t
+			qs := t.QS.IntersectInto(it.QS, j.qsScratch)
+			j.qsScratch = qs.IDs()
 			if !qs.Empty() {
 				c.Emit(cfg.OutStream, t.Row.Concat(it.Row), qs)
 			}
 		}
 	}
-}
-
-func keyOf(row types.Row, cols []int) string {
-	vals := make([]types.Value, len(cols))
-	for i, c := range cols {
-		vals[i] = row[c]
-	}
-	return types.EncodeKey(vals...)
-}
-
-func keysEqual(a types.Row, acols []int, b types.Row, bcols []int) bool {
-	for i := range acols {
-		if !a[acols[i]].Equal(b[bcols[i]]) {
-			return false
-		}
-	}
-	return true
 }
 
 // IndexJoinOp is the shared index nested-loop join (paper §4.4): outer
@@ -262,6 +280,9 @@ type IndexJoinOp struct {
 	// per-cycle: residual predicate per query over the inner table schema
 	// (dense slice indexed by generation-scoped query id)
 	residuals []expr.Expr
+
+	keyBuf    []types.Value      // probe key scratch
+	qsScratch []queryset.QueryID // residual routing scratch
 }
 
 // IndexJoinSpec is the per-query activation: the bound predicate this query
@@ -287,18 +308,23 @@ func (j *IndexJoinOp) Consume(c *Cycle, b *Batch) {
 	if !ok {
 		return
 	}
-	for _, t := range b.Tuples {
-		key := make([]types.Value, len(cfg.KeyCols))
+	if cap(j.keyBuf) < len(cfg.KeyCols) {
+		j.keyBuf = make([]types.Value, len(cfg.KeyCols))
+	}
+	key := j.keyBuf[:len(cfg.KeyCols)]
+	for ti := range b.Tuples {
+		t := &b.Tuples[ti]
 		for i, col := range cfg.KeyCols {
 			key[i] = t.Row[col]
 		}
 		j.Table.IndexSeekAt(j.Index, key, c.TS, func(_ storage.RowID, inner types.Row) bool {
-			qs := t.QS.Retain(func(q queryset.QueryID) bool {
+			qs := t.QS.RetainInto(func(q queryset.QueryID) bool {
 				if int(q) >= len(j.residuals) {
 					return false
 				}
 				return expr.TruthyEval(j.residuals[q], inner, nil)
-			})
+			}, j.qsScratch)
+			j.qsScratch = qs.IDs()
 			if !qs.Empty() {
 				c.Emit(cfg.OutStream, t.Row.Concat(inner), qs)
 			}

@@ -26,6 +26,15 @@ type Node struct {
 
 	inbox *SyncedQueue
 	wg    sync.WaitGroup
+
+	// pool recycles batch buffers across this node's cycles; shared per
+	// global plan (nil = allocate, for hand-built test nodes).
+	pool *BatchPool
+	// em is the node's reusable emitter (one cycle at a time per node).
+	em emitter
+	// prevInput is the tuple count consumed by the previous cycle, feeding
+	// the adaptive worker budget (-1 until a cycle has run).
+	prevInput int
 }
 
 // Edge connects a producer node to a consumer node. Query routing state is
@@ -71,7 +80,19 @@ func (e *Edge) ClearQueries(gen uint64) {
 
 // NewNode creates a node with the given operator behavior.
 func NewNode(id int, name string, op Operator) *Node {
-	return &Node{ID: id, Name: name, Op: op, inbox: NewSyncedQueue()}
+	return &Node{ID: id, Name: name, Op: op, inbox: NewSyncedQueue(), prevInput: -1}
+}
+
+// SetPool attaches the plan-wide batch free list. Must be set before Start;
+// nodes without a pool allocate batches normally.
+func (n *Node) SetPool(p *BatchPool) { n.pool = p }
+
+// newEmitter builds a fresh emitter for one cycle (test entry point; the
+// node's run loop reuses n.em via reset).
+func newEmitter(n *Node, gen uint64) *emitter {
+	e := &emitter{}
+	e.reset(n, gen)
+	return e
 }
 
 // Message is the unit of communication between nodes.
@@ -130,11 +151,28 @@ type Cycle struct {
 	// opState carries operator-private per-cycle state (a node executes at
 	// most one cycle at a time, so a single slot suffices).
 	opState interface{}
+
+	// retained collects input batches an operator kept references into past
+	// Consume (blocking operators buffering tuples); the node recycles them
+	// once the cycle's Finish phase has drained.
+	retained []*Batch
 }
 
 // Emit routes a result tuple to all interested consumers.
 func (c *Cycle) Emit(stream int, row types.Row, qs queryset.Set) {
 	c.em.emit(stream, row, qs)
+}
+
+// Retain marks an input batch as referenced beyond Consume (the operator
+// buffered its tuples or their query sets). The node keeps the batch alive
+// until the cycle's Finish phase completes instead of recycling it right
+// after Consume returns. Idempotent within a cycle.
+func (c *Cycle) Retain(b *Batch) {
+	if b == nil || b.retained {
+		return
+	}
+	b.retained = true
+	c.retained = append(c.retained, b)
 }
 
 // Queries returns the set of query ids active at this node this cycle.
@@ -217,12 +255,46 @@ func (n *Node) run() {
 	}
 }
 
+// adaptiveWorkerMinInput is the previous-cycle input size below which a
+// node's cycle runs strictly serial regardless of the configured worker
+// budget: tiny cycles pay fork/join overhead (and the parallel operators'
+// batch buffering) for nothing. A var so tests can lower it.
+var adaptiveWorkerMinInput = 1024
+
+// DisableAdaptiveWorkersForTest removes the tiny-cycle serial clamp and
+// returns a restore func. Engine-level differential tests use it so their
+// test-sized fixtures still exercise the parallel operator paths instead of
+// being adaptively serialized after the first generation.
+func DisableAdaptiveWorkersForTest() (restore func()) {
+	old := adaptiveWorkerMinInput
+	adaptiveWorkerMinInput = 0
+	return func() { adaptiveWorkerMinInput = old }
+}
+
+// adaptWorkers picks the effective per-cycle parallelism from the worker
+// budget and the node's previous-generation input size (the ROADMAP's
+// adaptive worker budget): unknown history (-1, first cycle) trusts the
+// budget; a previous cycle below adaptiveWorkerMinInput tuples stays
+// serial. Source nodes (no producers) size their own work against the
+// table instead (storage.SharedScanPartitioned's row-count clamp).
+func adaptWorkers(budget, prevInput int) int {
+	if budget > 1 && prevInput >= 0 && prevInput < adaptiveWorkerMinInput {
+		return 1
+	}
+	return budget
+}
+
 // runCycle executes one generation at this node (the body of Algorithm 1's
 // outer while-loop). It consumes stashed early-arrival messages first and
 // returns messages and cycle starts belonging to future generations; ok is
 // false when the inbox closed mid-cycle (shutdown).
 func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (future []Message, nextStarts []*CycleStart, ok bool) {
-	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: cs.Workers, node: n, em: newEmitter(n, cs.Gen)}
+	workers := cs.Workers
+	if len(n.Producers) > 0 {
+		workers = adaptWorkers(workers, n.prevInput)
+	}
+	n.em.reset(n, cs.Gen)
+	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, node: n, em: &n.em}
 	ids := make([]queryset.QueryID, len(cs.Tasks))
 	for i, t := range cs.Tasks {
 		ids[i] = t.Query
@@ -231,6 +303,7 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 
 	n.Op.Start(c)
 	remaining := cs.ActiveProducers
+	consumed := 0
 
 	handle := func(msg Message) {
 		if msg.Gen != cs.Gen {
@@ -247,7 +320,13 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 			return
 		}
 		if msg.Batch != nil {
+			consumed += len(msg.Batch.Tuples)
 			n.Op.Consume(c, msg.Batch)
+			// Recycle the batch unless the operator kept references into it
+			// (c.Retain); retained batches are released after Finish.
+			if !msg.Batch.retained {
+				n.pool.Put(msg.Batch)
+			}
 		}
 	}
 
@@ -269,6 +348,14 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 	}
 	n.Op.Finish(c)
 	c.em.flushEOS()
+	// The generation has drained through this node: every batch the
+	// operator buffered is now dead (emission copied the surviving query
+	// sets into downstream batches) and returns to the pool.
+	for _, b := range c.retained {
+		n.pool.Put(b)
+	}
+	c.retained = nil
+	n.prevInput = consumed
 	if cs.OnDone != nil {
 		cs.OnDone()
 	}

@@ -63,19 +63,6 @@ func stableSortTuples(tuples []sortedTuple, less func(a, b *sortedTuple) bool, w
 	return out
 }
 
-// hashPartition returns the partition in [0, parts) for a hash-table key,
-// using FNV-1a over the encoded key bytes. Group and join parallel builds
-// partition *by key*, so each group/build bucket is owned by exactly one
+// Partitioning by key hash (h % parts on the precomputed 64-bit key hash,
+// see hashtab.go) means each group/build bucket is owned by exactly one
 // worker and no cross-worker combine of per-key state is ever needed.
-func hashPartition(key string, parts int) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return int(h % uint64(parts))
-}

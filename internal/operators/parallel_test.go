@@ -333,6 +333,81 @@ func TestJoinParallelBuildMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestJoinParallelBuildShrinkingWorkers reuses ONE join operator across
+// cycles whose worker budget shrinks (4 → 2 → 1) — exactly what the
+// adaptive worker budget does between generations — and checks every cycle
+// produces the serial result. Pins that probes select shards with the same
+// modulus the build routed with (a stale, larger shard slice from an
+// earlier cycle would silently drop matches).
+func TestJoinParallelBuildShrinkingWorkers(t *testing.T) {
+	old := minParallelAggLen
+	minParallelAggLen = 1
+	t.Cleanup(func() { minParallelAggLen = old })
+	const innerStream, outerStream, outStream = 1, 2, 3
+	op := &HashJoinOp{
+		InnerKeyCols: []int{0},
+		InnerStream:  innerStream,
+		Outers:       map[int]JoinOuter{outerStream: {KeyCols: []int{0}, OutStream: outStream}},
+	}
+	node := NewNode(0, "join", op)
+	innerSrc := NewNode(10, "inner", &SinkOp{})
+	innerEdge := Connect(innerSrc, node)
+	op.SetInnerEdge(innerEdge)
+	sinkNode := NewNode(1, "sink", &SinkOp{})
+	outEdge := Connect(node, sinkNode)
+	sinkOp := sinkNode.Op.(*SinkOp)
+
+	mkBatches := func() (*Batch, *Batch) {
+		ib := &Batch{Stream: innerStream}
+		ob := &Batch{Stream: outerStream}
+		for i := 0; i < 200; i++ {
+			ib.Tuples = append(ib.Tuples, Tuple{
+				Row: types.Row{types.NewInt(int64(i % 37)), types.NewInt(int64(i))},
+				QS:  queryset.Of(1),
+			})
+			ob.Tuples = append(ob.Tuples, Tuple{
+				Row: types.Row{types.NewInt(int64(i % 37)), types.NewInt(int64(-i))},
+				QS:  queryset.Of(1),
+			})
+		}
+		return ib, ob
+	}
+	runCycle := func(gen uint64, workers int) int {
+		outEdge.SetQueries(gen, queryset.Of(1))
+		rows := 0
+		sinkOp.SetHandler(gen, func(_ int, _ Tuple) { rows++ })
+		c := &Cycle{Gen: gen, Workers: workers, node: node, em: newEmitter(node, gen)}
+		op.Start(c)
+		ib, ob := mkBatches()
+		op.Consume(c, ib)
+		op.EdgeEOS(c, innerEdge)
+		op.Consume(c, ob)
+		op.Finish(c)
+		c.em.flushEOS()
+		for sinkNode.Inbox().Len() > 0 {
+			msg, _ := sinkNode.Inbox().Pop()
+			if msg.Batch != nil {
+				sinkOp.Consume(&Cycle{Gen: gen}, msg.Batch)
+			}
+		}
+		return rows
+	}
+	want := 0
+	for gen, workers := range []int{4, 2, 1, 4} {
+		got := runCycle(uint64(gen)+1, workers)
+		if gen == 0 {
+			want = got
+			if want == 0 {
+				t.Fatal("smoke: first cycle joined nothing")
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("cycle %d (workers=%d): %d join rows, want %d (shard modulus mismatch?)", gen+1, workers, got, want)
+		}
+	}
+}
+
 func BenchmarkSortFinishWorkers(b *testing.B) {
 	r := rand.New(rand.NewSource(3))
 	n := 200000

@@ -1,0 +1,88 @@
+package operators
+
+import "sync"
+
+// BatchPool is the generation-aware free list of Batch buffers that keeps
+// the steady-state heartbeat cycle allocation-free: emitters draw batches
+// (tuple buffer + query-id arena) from the pool, and consumers return them
+// once the batch's tuples can no longer be referenced — streaming operators
+// right after Consume, blocking operators after their Finish phase, i.e.
+// when the batch's generation has drained through that node. Ownership
+// hand-off between producer and consumer goroutines goes through
+// SyncedQueue (Push/Pop under its mutex), and Get/Put are mutex-guarded, so
+// the recycle loop is race-clean: fill → push → pop → consume → Put → Get.
+//
+// One pool is shared per global plan (every node of a plan recycles into
+// the same free list); nodes constructed without a pool (tests, ablation
+// benches) fall back to plain allocation and Put becomes a no-op for their
+// batches.
+type BatchPool struct {
+	mu   sync.Mutex
+	free []*Batch
+
+	// stats (monotonic, guarded by mu)
+	gets   uint64 // total Get calls
+	reuses uint64 // Gets served from the free list
+}
+
+// maxPooledBatches caps the free list so a burst generation cannot pin
+// memory forever; overflow batches are dropped to the GC.
+const maxPooledBatches = 256
+
+// maxPooledArenaCap drops batches whose id arena grew pathologically large
+// (a generation with huge query sets) instead of keeping the memory pinned.
+const maxPooledArenaCap = 1 << 16
+
+// NewBatchPool returns an empty pool.
+func NewBatchPool() *BatchPool { return &BatchPool{} }
+
+// Get returns a recycled batch (empty tuples, reset arena) or a freshly
+// allocated one, configured for the given stream.
+func (p *BatchPool) Get(stream int) *Batch {
+	if p == nil {
+		return &Batch{Stream: stream, Tuples: make([]Tuple, 0, batchSize)}
+	}
+	p.mu.Lock()
+	p.gets++
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		return &Batch{Stream: stream, Tuples: make([]Tuple, 0, batchSize), pooled: true}
+	}
+	p.reuses++
+	b := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+	b.Stream = stream
+	return b
+}
+
+// Put recycles a batch. Batches not born from a pool are ignored (their
+// tuple slices may be shared with test fixtures); oversized arenas and a
+// full free list fall through to the GC. The caller must guarantee no live
+// references into b.Tuples or its arena remain.
+func (p *BatchPool) Put(b *Batch) {
+	if p == nil || b == nil || !b.pooled {
+		return
+	}
+	b.reset()
+	if b.arena.Cap() > maxPooledArenaCap {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxPooledBatches {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports Get traffic and how much of it was served by reuse.
+func (p *BatchPool) Stats() (gets, reuses uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.reuses
+}

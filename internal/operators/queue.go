@@ -11,8 +11,14 @@ type SyncedQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []Message
+	head   int // index of the next message in items
 	closed bool
 }
+
+// maxIdleQueueCap is the backing-array capacity above which a fully drained
+// queue releases its buffer instead of keeping it for reuse (a burst should
+// not pin memory forever).
+const maxIdleQueueCap = 4096
 
 // NewSyncedQueue returns an empty open queue.
 func NewSyncedQueue() *SyncedQueue {
@@ -25,6 +31,15 @@ func NewSyncedQueue() *SyncedQueue {
 func (q *SyncedQueue) Push(m Message) {
 	q.mu.Lock()
 	if !q.closed {
+		if q.head > 0 && len(q.items) == cap(q.items) {
+			// About to grow: compact the consumed prefix away first so a
+			// never-quite-empty queue reuses its buffer instead of dragging
+			// dead messages into a bigger allocation.
+			n := copy(q.items, q.items[q.head:])
+			clear(q.items[n:])
+			q.items = q.items[:n]
+			q.head = 0
+		}
 		q.items = append(q.items, m)
 		q.cond.Signal()
 	}
@@ -36,18 +51,24 @@ func (q *SyncedQueue) Push(m Message) {
 func (q *SyncedQueue) Pop() (Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return Message{}, false
 	}
-	m := q.items[0]
-	// Shift head; reclaim the backing array periodically to avoid
-	// unbounded growth of the consumed prefix.
-	q.items = q.items[1:]
-	if len(q.items) == 0 {
-		q.items = nil
+	m := q.items[q.head]
+	q.items[q.head] = Message{} // drop references for the GC
+	q.head++
+	if q.head == len(q.items) {
+		// Fully drained: rewind into the same backing array so the
+		// steady-state produce/consume cycle never reallocates.
+		if cap(q.items) > maxIdleQueueCap {
+			q.items = nil
+		} else {
+			q.items = q.items[:0]
+		}
+		q.head = 0
 	}
 	return m, true
 }
@@ -65,5 +86,5 @@ func (q *SyncedQueue) Close() {
 func (q *SyncedQueue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }

@@ -10,10 +10,15 @@ import (
 
 // ScanOp is a shared table scan source: one ClockScan cycle per generation
 // answers all queries reading the table (paper §3.4 / §4.4). It has no
-// producers; all work happens in Start.
+// producers; all work happens in Start. The scan's result and hit-merge
+// buffers (bufs) are reused across generations (one cycle at a time per
+// node), so a steady-state scan cycle allocates nothing per row.
 type ScanOp struct {
 	Table     *storage.Table
 	OutStream int
+
+	bufs    storage.ScanBuffers
+	clients []storage.ScanClient
 }
 
 // ScanSpec is the per-query activation of a scan: the bound (parameter-
@@ -27,14 +32,16 @@ type ScanSpec struct {
 // ranges are matched on separate workers and merged back in row order, so
 // downstream operators observe the same tuple sequence as the serial scan.
 func (s *ScanOp) Start(c *Cycle) {
-	clients := make([]storage.ScanClient, 0, len(c.Tasks))
+	s.clients = s.clients[:0]
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(ScanSpec)
-		clients = append(clients, storage.ScanClient{ID: t.Query, Pred: spec.Pred})
+		s.clients = append(s.clients, storage.ScanClient{ID: t.Query, Pred: spec.Pred})
 	}
-	s.Table.SharedScanPartitioned(c.TS, clients, c.Workers, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+	s.Table.SharedScanPooled(c.TS, s.clients, c.Workers, &s.bufs, func(_ storage.RowID, row types.Row, qs queryset.Set) {
 		c.Emit(s.OutStream, row, qs)
 	})
+	clear(s.clients)
+	s.clients = s.clients[:0]
 }
 
 // Consume is never called: scans have no producers.
@@ -50,6 +57,9 @@ type ProbeOp struct {
 	Table     *storage.Table
 	Index     *storage.Index
 	OutStream int
+
+	bufs    storage.ProbeBuffers
+	clients []storage.ProbeClient
 }
 
 // ProbeSpec is the per-query activation of an index probe. Key (equality,
@@ -63,20 +73,23 @@ type ProbeSpec struct {
 	Residual expr.Expr
 }
 
-// Start runs the shared probe cycle.
+// Start runs the shared probe cycle (reusable client list and borrowed
+// query sets: the emitter copies survivors into its batch arena).
 func (p *ProbeOp) Start(c *Cycle) {
-	clients := make([]storage.ProbeClient, 0, len(c.Tasks))
+	p.clients = p.clients[:0]
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(ProbeSpec)
-		clients = append(clients, storage.ProbeClient{
+		p.clients = append(p.clients, storage.ProbeClient{
 			ID: t.Query, Key: spec.Key,
 			Lo: spec.Lo, Hi: spec.Hi, LoIncl: spec.LoIncl, HiIncl: spec.HiIncl,
 			Residual: spec.Residual,
 		})
 	}
-	p.Table.SharedProbe(c.TS, p.Index, clients, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+	p.Table.SharedProbePooled(c.TS, p.Index, p.clients, &p.bufs, func(_ storage.RowID, row types.Row, qs queryset.Set) {
 		c.Emit(p.OutStream, row, qs)
 	})
+	clear(p.clients)
+	p.clients = p.clients[:0]
 }
 
 // Consume is never called: probes have no producers.

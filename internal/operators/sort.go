@@ -18,8 +18,17 @@ import (
 //
 // Tuples may arrive on multiple streams with different schemas; per-stream
 // key extractors evaluate the (semantically identical) sort key on each.
+//
+// The sort buffer, the flat arena backing extracted sort keys, and the
+// per-query routing scratch are owned by the operator and reused across
+// cycles, so steady-state buffering allocates only on high-water growth.
 type SortOp struct {
 	Streams map[int]SortStream // key extraction per input stream
+
+	// cycle state, reused across cycles (one cycle at a time per node)
+	st        sortState
+	keyBuf    []types.Value      // flat arena: each tuple's keys are a clipped sub-slice
+	qsScratch []queryset.QueryID // Top-N routing scratch
 }
 
 // SortStream configures one input stream of a shared sort.
@@ -50,7 +59,7 @@ type sortedTuple struct {
 // node).
 type sortState struct {
 	tuples []sortedTuple
-	limits map[queryset.QueryID]int
+	limits []int // dense by generation-scoped query id; <= 0 = unlimited
 }
 
 // cycle state
@@ -58,7 +67,21 @@ func (s *SortOp) state(c *Cycle) *sortState { return c.opState.(*sortState) }
 
 // Start initializes the sort buffer and per-query limits.
 func (s *SortOp) Start(c *Cycle) {
-	st := &sortState{limits: map[queryset.QueryID]int{}}
+	st := &s.st
+	clear(st.tuples)
+	st.tuples = st.tuples[:0]
+	s.keyBuf = s.keyBuf[:0]
+	maxID := queryset.QueryID(0)
+	for _, t := range c.Tasks {
+		if t.Query > maxID {
+			maxID = t.Query
+		}
+	}
+	if cap(st.limits) < int(maxID)+1 {
+		st.limits = make([]int, int(maxID)+1)
+	}
+	st.limits = st.limits[:int(maxID)+1]
+	clear(st.limits)
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(SortSpec)
 		st.limits[t.Query] = spec.Limit
@@ -66,22 +89,34 @@ func (s *SortOp) Start(c *Cycle) {
 	c.opState = st
 }
 
+// limit returns query q's row cap (<= 0 = unlimited).
+func (st *sortState) limit(q queryset.QueryID) int {
+	if int(q) >= len(st.limits) {
+		return 0
+	}
+	return st.limits[q]
+}
+
 // Consume buffers tuples with their extracted sort keys (ProcessTuple of
 // Algorithm 1 for a blocking operator: "append the tuple to a buffer
 // structure ... the same buffer structure is used for all the queries that
-// belong to the same batch").
+// belong to the same batch"). The batch is retained: buffered tuples alias
+// its rows and query sets until Finish drains them.
 func (s *SortOp) Consume(c *Cycle, b *Batch) {
 	cfg, ok := s.Streams[b.Stream]
 	if !ok {
 		return
 	}
+	c.Retain(b)
 	st := s.state(c)
-	for _, t := range b.Tuples {
-		keys := make([]types.Value, len(cfg.Keys))
-		for i, k := range cfg.Keys {
-			keys[i] = k.E.Eval(t.Row, nil)
+	for ti := range b.Tuples {
+		t := &b.Tuples[ti]
+		start := len(s.keyBuf)
+		for _, k := range cfg.Keys {
+			s.keyBuf = append(s.keyBuf, k.E.Eval(t.Row, nil))
 		}
-		st.tuples = append(st.tuples, sortedTuple{stream: b.Stream, t: t, keys: keys})
+		keys := s.keyBuf[start:len(s.keyBuf):len(s.keyBuf)]
+		st.tuples = append(st.tuples, sortedTuple{stream: b.Stream, t: *t, keys: keys})
 	}
 }
 
@@ -149,7 +184,7 @@ func (s *SortOp) Finish(c *Cycle) {
 			par.Do(c.Workers, len(qids), func(i int) {
 				part := partitions[qids[i]]
 				sort.SliceStable(part, func(a, b int) bool { return less(&part[a], &part[b]) })
-				if lim := st.limits[qids[i]]; lim > 0 && len(part) > lim {
+				if lim := st.limit(qids[i]); lim > 0 && len(part) > lim {
 					part = part[:lim]
 				}
 				parts[i] = part
@@ -159,12 +194,13 @@ func (s *SortOp) Finish(c *Cycle) {
 					c.Emit(s.Streams[sr.stream].OutStream, sr.t.Row, sr.t.QS)
 				}
 			}
+			s.release(st)
 			c.opState = nil
 			return
 		}
 		for q, part := range partitions {
 			sort.SliceStable(part, func(a, b int) bool { return less(&part[a], &part[b]) })
-			lim := st.limits[q]
+			lim := st.limit(q)
 			if lim > 0 && len(part) > lim {
 				part = part[:lim]
 			}
@@ -172,16 +208,21 @@ func (s *SortOp) Finish(c *Cycle) {
 				c.Emit(s.Streams[sr.stream].OutStream, sr.t.Row, sr.t.QS)
 			}
 		}
+		s.release(st)
 		c.opState = nil
 		return
 	}
 
 	st.tuples = stableSortTuples(st.tuples, less, c.Workers)
-	counts := map[queryset.QueryID]int{}
+	counts := make([]int, len(st.limits))
 	remaining := 0
 	unlimited := false
-	for _, lim := range st.limits {
-		if lim > 0 {
+	// Count from the cycle's tasks, not the dense limits slice: its gap
+	// entries (ids not registered at this node, incl. the unused id 0) are
+	// zero and would read as "some query is unlimited", disabling the
+	// every-Top-N-satisfied early exit below.
+	for _, tk := range c.Tasks {
+		if st.limit(tk.Query) > 0 {
 			remaining++
 		} else {
 			unlimited = true
@@ -189,20 +230,23 @@ func (s *SortOp) Finish(c *Cycle) {
 	}
 	for i := range st.tuples {
 		sr := &st.tuples[i]
-		qs := sr.t.QS.Retain(func(q queryset.QueryID) bool {
-			lim := st.limits[q]
+		qs := sr.t.QS.RetainInto(func(q queryset.QueryID) bool {
+			lim := st.limit(q)
 			if lim <= 0 {
 				return true
 			}
-			if counts[q] >= lim {
-				return false
-			}
-			counts[q]++
-			if counts[q] == lim {
-				remaining--
+			if int(q) < len(counts) {
+				if counts[q] >= lim {
+					return false
+				}
+				counts[q]++
+				if counts[q] == lim {
+					remaining--
+				}
 			}
 			return true
-		})
+		}, s.qsScratch)
+		s.qsScratch = qs.IDs()
 		if !qs.Empty() {
 			out := s.Streams[sr.stream].OutStream
 			c.Emit(out, sr.t.Row, qs)
@@ -211,5 +255,16 @@ func (s *SortOp) Finish(c *Cycle) {
 			break // every Top-N query satisfied
 		}
 	}
+	s.release(st)
 	c.opState = nil
+}
+
+// release drops the cycle's buffered tuple references so retained input
+// batches recycle without pinned rows, keeping buffer capacity for the next
+// cycle.
+func (s *SortOp) release(st *sortState) {
+	clear(st.tuples)
+	st.tuples = st.tuples[:0]
+	clear(s.keyBuf)
+	s.keyBuf = s.keyBuf[:0]
 }

@@ -50,6 +50,7 @@ func Do(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	forkCount.Add(int64(workers - 1))
 	var next atomic.Int64
 	work := func() {
 		for {
@@ -71,6 +72,14 @@ func Do(workers, n int, fn func(i int)) {
 	work()
 	wg.Wait()
 }
+
+// forkCount counts worker goroutines spawned by Do since process start.
+// The adaptive worker budget's tests use it to pin that tiny cycles never
+// fork.
+var forkCount atomic.Int64
+
+// Forks reports the total worker goroutines spawned by Do so far.
+func Forks() int64 { return forkCount.Load() }
 
 // Split partitions [0, n) into at most `parts` contiguous ranges of
 // near-equal size and returns the range boundaries: bounds[i] .. bounds[i+1]

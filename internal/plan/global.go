@@ -56,6 +56,11 @@ type GlobalPlan struct {
 	nextStream int
 	started    bool
 	workers    int // per-cycle intra-operator parallelism (<=1 = serial)
+	// pool is the plan-wide batch free list: every node's emitter draws
+	// from it and every node recycles consumed batches into it, so the
+	// steady-state generation cycle reuses the same buffers (README
+	// "Memory discipline").
+	pool *operators.BatchPool
 
 	streams map[int]*streamInfo
 
@@ -118,11 +123,17 @@ func New(db *storage.Database) *GlobalPlan {
 		filterFor:  map[int]*operators.Node{},
 		edges:      map[[2]int]*operators.Edge{},
 		nextStream: 1,
+		pool:       operators.NewBatchPool(),
 	}
 	p.SinkOp = &operators.SinkOp{}
 	p.sink = operators.NewNode(p.allocNodeID(), "output", p.SinkOp)
+	p.sink.SetPool(p.pool)
 	return p
 }
+
+// PoolStats reports the batch free list's traffic: total batch requests and
+// how many were served by reuse (the steady-state recycle rate).
+func (p *GlobalPlan) PoolStats() (gets, reuses uint64) { return p.pool.Stats() }
 
 func (p *GlobalPlan) allocNodeID() int {
 	id := p.nextNodeID
@@ -139,6 +150,7 @@ func (p *GlobalPlan) allocStream(schema *types.Schema, origins []origin) *stream
 
 func (p *GlobalPlan) addNode(name string, op operators.Operator) *operators.Node {
 	n := operators.NewNode(p.allocNodeID(), name, op)
+	n.SetPool(p.pool)
 	p.nodes = append(p.nodes, n)
 	if p.started {
 		n.Start()

@@ -171,6 +171,79 @@ func (s Set) Intersect(o Set) Set {
 	return Set{ids: out}
 }
 
+// IntersectInto computes s ∩ o into dst (reusing dst's backing array) and
+// returns the result as a Set aliasing dst. The returned set is valid only
+// until the caller reuses dst; it is the zero-allocation variant of
+// Intersect for hot routing paths (the emitter's per-edge query-set
+// restriction and the join's amended predicate), where the result is
+// immediately copied into a longer-lived arena or consumed before the next
+// call. dst may be nil (the first call then allocates; steady-state calls
+// reuse the grown backing via Grow/IDs).
+func (s Set) IntersectInto(o Set, dst []QueryID) Set {
+	out := dst[:0]
+	if s.Empty() || o.Empty() {
+		return Set{ids: out}
+	}
+	if s.ids[len(s.ids)-1] < o.ids[0] || o.ids[len(o.ids)-1] < s.ids[0] {
+		return Set{ids: out}
+	}
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		a, b := s.ids[i], o.ids[j]
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			out = append(out, a)
+			i++
+			j++
+		}
+	}
+	return Set{ids: out}
+}
+
+// UnionInto computes s ∪ o into dst (reusing dst's backing array) and
+// returns the result as a Set aliasing dst. Same validity contract as
+// IntersectInto. dst must not alias s or o.
+func (s Set) UnionInto(o Set, dst []QueryID) Set {
+	out := dst[:0]
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		a, b := s.ids[i], o.ids[j]
+		switch {
+		case a < b:
+			out = append(out, a)
+			i++
+		case a > b:
+			out = append(out, b)
+			j++
+		default:
+			out = append(out, a)
+			i++
+			j++
+		}
+	}
+	out = append(out, s.ids[i:]...)
+	out = append(out, o.ids[j:]...)
+	return Set{ids: out}
+}
+
+// RetainInto computes the subset of s satisfying keep into dst (reusing
+// dst's backing array), with the same validity contract as IntersectInto.
+// It is the zero-allocation variant of Retain for per-tuple predicate
+// routing (filters, sort Top-N cutoffs, index-join residuals).
+func (s Set) RetainInto(keep func(QueryID) bool, dst []QueryID) Set {
+	out := dst[:0]
+	for _, id := range s.ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}
+}
+
 // Intersects reports whether s ∩ o is non-empty without materializing it.
 func (s Set) Intersects(o Set) bool {
 	if s.Empty() || o.Empty() {
@@ -192,6 +265,69 @@ func (s Set) Intersects(o Set) bool {
 		}
 	}
 	return false
+}
+
+// Arena is a bump allocator for query-id sets with a common lifetime: all
+// sets created from one arena die together, at which point Reset reclaims
+// the whole backing array at once. The routing hot path uses one arena per
+// in-flight batch (internal/operators), so intersecting a tuple's set
+// against an edge's active set allocates nothing in steady state — the ids
+// land in the batch's arena and are recycled with it.
+//
+// Appending may grow the arena by allocating a fresh backing array;
+// previously returned sets keep aliasing the old array (which stays alive
+// through their references), so they remain valid until Reset. An Arena is
+// single-owner: callers must not share one across goroutines without
+// external synchronization (batch hand-off through SyncedQueue provides
+// it).
+type Arena struct {
+	buf []QueryID
+}
+
+// Reset discards all sets allocated from the arena, keeping the (largest)
+// backing array for reuse. Only call once every set previously returned by
+// the arena is dead.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// Cap returns the arena's current backing capacity (diagnostics).
+func (a *Arena) Cap() int { return cap(a.buf) }
+
+// Intersect appends s ∩ o to the arena and returns the stored set. The
+// returned set is capacity-clipped so later arena appends cannot write
+// through it.
+func (a *Arena) Intersect(s, o Set) Set {
+	start := len(a.buf)
+	if s.Empty() || o.Empty() {
+		return Set{}
+	}
+	if s.ids[len(s.ids)-1] < o.ids[0] || o.ids[len(o.ids)-1] < s.ids[0] {
+		return Set{}
+	}
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		x, y := s.ids[i], o.ids[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			a.buf = append(a.buf, x)
+			i++
+			j++
+		}
+	}
+	return Set{ids: a.buf[start:len(a.buf):len(a.buf)]}
+}
+
+// Append copies s into the arena and returns the stored copy.
+func (a *Arena) Append(s Set) Set {
+	if s.Empty() {
+		return Set{}
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, s.ids...)
+	return Set{ids: a.buf[start:len(a.buf):len(a.buf)]}
 }
 
 // Minus returns s \ o.

@@ -503,6 +503,13 @@ func (b *binder) buildGroup(s *SelectStmt, in LogicalPlan, inSchema *types.Schem
 			}
 			spec.Arg = arg
 		}
+		// Numeric aggregates over strings have no defined sum; surface the
+		// type error at plan time instead of silently aggregating to 0.
+		if spec.Func == AggSum || spec.Func == AggAvg {
+			if k := inferKind(spec.Arg, inSchema); k == types.KindString {
+				return fmt.Errorf("sql: %s over a VARCHAR argument is not defined (%s)", fc.Name, sig)
+			}
+		}
 		aggIndex[sig] = len(g.GroupCols) + len(g.Aggs)
 		kind := types.KindFloat
 		switch spec.Func {

@@ -276,6 +276,35 @@ func TestPlanErrors(t *testing.T) {
 	}
 }
 
+// String SUM/AVG must be a plan-time type error, not a silent 0 at
+// execution (ROADMAP aggregate item).
+func TestPlanStringAggregateTypeError(t *testing.T) {
+	bad := []string{
+		"SELECT SUM(username) FROM users GROUP BY country",
+		"SELECT AVG(country) FROM users",
+		"SELECT country FROM users GROUP BY country HAVING SUM(username) > 1",
+		"SELECT SUM(i_title) FROM items",
+	}
+	for _, src := range bad {
+		if _, err := PlanSelect(mustParse(t, src).(*SelectStmt), catalog()); err == nil {
+			t.Errorf("PlanSelect(%q) should fail with a type error", src)
+		}
+	}
+	// Numeric aggregates stay valid, incl. MIN/MAX over strings (defined by
+	// lexicographic ordering).
+	good := []string{
+		"SELECT SUM(account) FROM users GROUP BY country",
+		"SELECT AVG(o_total) FROM orders",
+		"SELECT MIN(username), MAX(username) FROM users GROUP BY country",
+		"SELECT COUNT(username) FROM users",
+	}
+	for _, src := range good {
+		if _, err := PlanSelect(mustParse(t, src).(*SelectStmt), catalog()); err != nil {
+			t.Errorf("PlanSelect(%q): unexpected error %v", src, err)
+		}
+	}
+}
+
 func TestPlanWriteStatements(t *testing.T) {
 	ins, err := PlanStatement(mustParse(t, "INSERT INTO users (user_id, username) VALUES (?, ?)"), catalog())
 	if err != nil {

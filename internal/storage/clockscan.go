@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"slices"
 	"sort"
 
 	"shareddb/internal/expr"
@@ -28,9 +29,13 @@ type ScanClient struct {
 	Pred expr.Expr // bound predicate over the table schema; nil = all rows
 }
 
-// eqProbe is a query hanging off an equality predicate index entry.
+// eqProbe is a query hanging off an equality predicate index entry. val is
+// the pinned column value: the index is keyed by the value's 64-bit hash
+// (no per-row key encoding), so hash collisions are resolved by comparing
+// against val.
 type eqProbe struct {
 	id       queryset.QueryID
+	val      types.Value
 	residual expr.Expr
 }
 
@@ -43,8 +48,10 @@ type rangeProbe struct {
 
 // predIndex is the per-cycle query index of a ClockScan.
 type predIndex struct {
-	// eq[col][encodedValue] → queries whose predicate pins col to value.
-	eq map[int]map[string][]eqProbe
+	// eq[col][hash(value)] → queries whose predicate pins col to a value
+	// with that hash (collisions verified against eqProbe.val, so row
+	// matching never encodes a key).
+	eq map[int]map[uint64][]eqProbe
 	// ranges[col] → queries with an interval constraint on col, sorted by
 	// lower bound (unbounded first) for early termination.
 	ranges map[int][]rangeProbe
@@ -56,7 +63,7 @@ type predIndex struct {
 // buildPredIndex classifies every client by its most selective indexable
 // conjunct.
 func buildPredIndex(clients []ScanClient) *predIndex {
-	pi := &predIndex{eq: map[int]map[string][]eqProbe{}, ranges: map[int][]rangeProbe{}}
+	pi := &predIndex{eq: map[int]map[uint64][]eqProbe{}, ranges: map[int][]rangeProbe{}}
 	for _, c := range clients {
 		conjs := expr.Conjuncts(c.Pred)
 		// Prefer an equality conjunct; otherwise a range conjunct.
@@ -79,11 +86,11 @@ func buildPredIndex(clients []ScanClient) *predIndex {
 			residual := expr.AndOf(removeAt(conjs, eqAt))
 			m := pi.eq[col]
 			if m == nil {
-				m = map[string][]eqProbe{}
+				m = map[uint64][]eqProbe{}
 				pi.eq[col] = m
 			}
-			k := types.EncodeKey(val)
-			m[k] = append(m[k], eqProbe{id: c.ID, residual: residual})
+			h := val.Hash()
+			m[h] = append(m[h], eqProbe{id: c.ID, val: val, residual: residual})
 		case rngAt >= 0:
 			rng, _ := expr.RangeMatch(conjs[rngAt])
 			residual := expr.AndOf(removeAt(conjs, rngAt))
@@ -118,9 +125,10 @@ func removeAt(conjs []expr.Expr, i int) []expr.Expr {
 // match collects the ids of all queries interested in row into buf.
 func (pi *predIndex) match(row types.Row, buf []queryset.QueryID) []queryset.QueryID {
 	for col, m := range pi.eq {
-		if probes, ok := m[types.EncodeKey(row[col])]; ok {
+		v := row[col]
+		if probes, ok := m[v.Hash()]; ok {
 			for _, p := range probes {
-				if expr.TruthyEval(p.residual, row, nil) {
+				if p.val.Equal(v) && expr.TruthyEval(p.residual, row, nil) {
 					buf = append(buf, p.id)
 				}
 			}
@@ -150,21 +158,41 @@ func (pi *predIndex) match(row types.Row, buf []queryset.QueryID) []queryset.Que
 // SharedScan executes one ClockScan cycle: a single pass over the rows
 // visible at snapshot ts answering every client at once. emit receives each
 // row that at least one client wants, together with the interested query-id
-// set (the data-query model).
+// set (the data-query model). Emitted sets are fresh; callers may retain
+// them.
 func (t *Table) SharedScan(ts uint64, clients []ScanClient, emit func(rid RowID, row types.Row, qs queryset.Set)) {
-	if len(clients) == 0 {
-		return
-	}
-	pi := buildPredIndex(clients)
-	var buf []queryset.QueryID
-	t.ScanVisible(ts, func(rid RowID, row types.Row) bool {
-		buf = pi.match(row, buf[:0])
-		if len(buf) > 0 {
-			emit(rid, row, queryset.Of(buf...))
-		}
-		return true
-	})
+	t.sharedScan(ts, clients, 1, nil, emit)
 }
+
+// SharedScanPartitioned is the partition-parallel ClockScan (Crescando runs
+// one scan thread per core over a partition of the table; paper §4.4). The
+// table's row slots are split into `workers` contiguous ranges, every worker
+// runs the same shared predicate index over its own range, and the
+// per-partition hits are then emitted in partition order — which, because
+// partitions are contiguous and ordered, is exactly the RowID order the
+// serial scan produces. workers <= 1 (or a table below minParallelScanRows)
+// falls back to the serial SharedScan, so Workers=1 engines are
+// byte-identical to the pre-parallel engine. Emitted sets are fresh.
+func (t *Table) SharedScanPartitioned(ts uint64, clients []ScanClient, workers int, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	t.sharedScan(ts, clients, workers, nil, emit)
+}
+
+// SharedScanPooled is the zero-allocation ClockScan cycle used by the
+// always-on scan operator: identical visit and emission order to
+// SharedScan/SharedScanPartitioned, but every emitted query set is borrowed
+// from bufs — valid only during the emit callback — instead of freshly
+// allocated, and the partition hit buffers are drawn from bufs and reused
+// across generations. Callers that retain a set must copy it (the operator
+// emitter copies into its batch arena).
+func (t *Table) SharedScanPooled(ts uint64, clients []ScanClient, workers int, bufs *ScanBuffers, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	t.sharedScan(ts, clients, workers, bufs, emit)
+}
+
+// minParallelScanRows is the table size below which a partitioned scan
+// runs serial regardless of the worker budget (the adaptive worker budget's
+// source-node heuristic: a cycle over a tiny table never forks). A var so
+// tests can lower it.
+var minParallelScanRows = 1024
 
 // scanHit is one row emitted by a scan partition, buffered so that
 // per-partition output can be replayed in global row order.
@@ -174,53 +202,104 @@ type scanHit struct {
 	qs  queryset.Set
 }
 
-// SharedScanPartitioned is the partition-parallel ClockScan (Crescando runs
-// one scan thread per core over a partition of the table; paper §4.4). The
-// table's row slots are split into `workers` contiguous ranges, every worker
-// runs the same shared predicate index over its own range, and the
-// per-partition hits are then emitted in partition order — which, because
-// partitions are contiguous and ordered, is exactly the RowID order the
-// serial scan produces. workers <= 1 falls back to the serial SharedScan, so
-// Workers=1 engines are byte-identical to the pre-parallel engine.
+// ScanBuffers is the reusable per-cycle state of a pooled shared scan: the
+// match scratch, the per-partition hit buffers and the query-id arenas
+// backing the emitted sets. One instance is owned by each scan operator
+// node (one cycle at a time) and reused across generations, so the
+// steady-state scan cycle allocates nothing per row.
+type ScanBuffers struct {
+	ids   []queryset.QueryID
+	parts []partScratch
+}
+
+// partScratch is one partition's reusable buffers in a parallel pooled
+// scan.
+type partScratch struct {
+	hits  []scanHit
+	arena queryset.Arena
+	ids   []queryset.QueryID
+}
+
+// sharedScan is the one ClockScan body behind the three public entry
+// points. bufs == nil is the unpooled contract: a private ScanBuffers is
+// used and never reset afterwards, so emitted sets (arena-backed in the
+// parallel regime, freshly copied in the serial one) stay valid
+// indefinitely. With caller-owned bufs the sets are borrowed until the next
+// cycle reuses the buffers.
 //
-// The table read lock is held across the whole parallel pass (writers of
-// later generations block, readers proceed); emission happens after the lock
-// is released — version rows are immutable, so handing them out lock-free is
-// safe.
-func (t *Table) SharedScanPartitioned(ts uint64, clients []ScanClient, workers int, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+// In the parallel regime the table read lock is held across the whole pass
+// (writers of later generations block, readers proceed); emission happens
+// after the lock is released — version rows are immutable, so handing them
+// out lock-free is safe.
+func (t *Table) sharedScan(ts uint64, clients []ScanClient, workers int, bufs *ScanBuffers, emit func(rid RowID, row types.Row, qs queryset.Set)) {
 	if len(clients) == 0 {
 		return
 	}
+	pi := buildPredIndex(clients)
+	if workers > 1 && t.NumSlots() < minParallelScanRows {
+		// Adaptive budget: forking workers over a tiny table costs more than
+		// the scan itself; run serial (identical output order either way).
+		workers = 1
+	}
 	if workers <= 1 {
-		t.SharedScan(ts, clients, emit)
+		pooled := bufs != nil
+		if !pooled {
+			bufs = &ScanBuffers{}
+		}
+		t.ScanVisible(ts, func(rid RowID, row types.Row) bool {
+			bufs.ids = pi.match(row, bufs.ids[:0])
+			if len(bufs.ids) > 0 {
+				if pooled {
+					// Borrowed: sorted in place, valid during emit only.
+					// Ids are unique by construction (every client is
+					// indexed under exactly one conjunct class).
+					slices.Sort(bufs.ids)
+					emit(rid, row, queryset.FromSorted(bufs.ids))
+				} else {
+					emit(rid, row, queryset.Of(bufs.ids...))
+				}
+			}
+			return true
+		})
 		return
 	}
-	pi := buildPredIndex(clients)
+	reused := bufs != nil
+	if !reused {
+		bufs = &ScanBuffers{}
+	}
 	t.mu.RLock()
 	bounds := par.Split(len(t.slots), workers)
-	parts := make([][]scanHit, len(bounds)-1)
-	par.Do(workers, len(parts), func(w int) {
-		var buf []queryset.QueryID
-		// Assume a selective batch (most rows match someone when any client
-		// has no predicate, few otherwise); growth handles the rest.
-		hits := make([]scanHit, 0, (bounds[w+1]-bounds[w])/4+16)
+	nparts := len(bounds) - 1
+	for len(bufs.parts) < nparts {
+		bufs.parts = append(bufs.parts, partScratch{})
+	}
+	par.Do(workers, nparts, func(w int) {
+		ps := &bufs.parts[w]
+		ps.arena.Reset()
+		hits := ps.hits[:0]
 		for rid := bounds[w]; rid < bounds[w+1]; rid++ {
 			for v := t.slots[rid]; v != nil; v = v.older {
 				if v.beginTS <= ts && ts < v.endTS {
-					buf = pi.match(v.row, buf[:0])
-					if len(buf) > 0 {
-						hits = append(hits, scanHit{rid: RowID(rid), row: v.row, qs: queryset.Of(buf...)})
+					ps.ids = pi.match(v.row, ps.ids[:0])
+					if len(ps.ids) > 0 {
+						slices.Sort(ps.ids)
+						hits = append(hits, scanHit{rid: RowID(rid), row: v.row, qs: ps.arena.Append(queryset.FromSorted(ps.ids))})
 					}
 					break
 				}
 			}
 		}
-		parts[w] = hits
+		ps.hits = hits
 	})
 	t.mu.RUnlock()
-	for _, hits := range parts {
-		for _, h := range hits {
+	for w := 0; w < nparts; w++ {
+		for _, h := range bufs.parts[w].hits {
 			emit(h.rid, h.row, h.qs)
+		}
+		if reused {
+			// Drop row references promptly; the arena is reset next cycle.
+			clear(bufs.parts[w].hits)
+			bufs.parts[w].hits = bufs.parts[w].hits[:0]
 		}
 	}
 }

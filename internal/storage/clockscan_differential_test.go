@@ -103,6 +103,7 @@ func fuzzPred(r *rand.Rand, kinds []types.Kind) expr.Expr {
 }
 
 func TestClockScanDifferentialFuzz(t *testing.T) {
+	forceParallelScan(t)
 	r := rand.New(rand.NewSource(20120725))
 	kindPool := []types.Kind{types.KindInt, types.KindFloat, types.KindString}
 	for trial := 0; trial < 150; trial++ {

@@ -16,6 +16,15 @@ type emission struct {
 	qs  string
 }
 
+// forceParallelScan disables the adaptive tiny-table clamp so the parallel
+// scan machinery is exercised even on test-sized tables.
+func forceParallelScan(t *testing.T) {
+	t.Helper()
+	old := minParallelScanRows
+	minParallelScanRows = 0
+	t.Cleanup(func() { minParallelScanRows = old })
+}
+
 func collectScan(tab *Table, ts uint64, clients []ScanClient, workers int) []emission {
 	var out []emission
 	emit := func(rid RowID, _ types.Row, qs queryset.Set) {
@@ -33,6 +42,7 @@ func collectScan(tab *Table, ts uint64, clients []ScanClient, workers int) []emi
 // same RowID order, with the same per-row query sets — the parallelism
 // contract of the worker-pool layer.
 func TestSharedScanPartitionedMatchesSerialExactly(t *testing.T) {
+	forceParallelScan(t)
 	db, tab := seedUsers(t, 157) // deliberately not a multiple of any worker count
 	ts := db.SnapshotTS()
 	clients := []ScanClient{
@@ -62,6 +72,7 @@ func TestSharedScanPartitionedMatchesSerialExactly(t *testing.T) {
 }
 
 func TestSharedScanPartitionedEdgeCases(t *testing.T) {
+	forceParallelScan(t)
 	db, tab := newUserDB(t)
 	ts := db.SnapshotTS()
 	all := []ScanClient{{ID: 1, Pred: nil}}
@@ -88,6 +99,7 @@ func TestSharedScanPartitionedEdgeCases(t *testing.T) {
 // scan: updated and deleted rows resolve to the version visible at the
 // pinned snapshot even when newer versions exist.
 func TestSharedScanPartitionedVisibility(t *testing.T) {
+	forceParallelScan(t)
 	db, tab := seedUsers(t, 60)
 	tsOld := db.SnapshotTS()
 	db.ApplyOps([]WriteOp{

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"slices"
+
 	"shareddb/internal/btree"
 	"shareddb/internal/expr"
 	"shareddb/internal/queryset"
@@ -38,6 +40,24 @@ type ProbeClient struct {
 // Visibility is at the fixed snapshot ts, so per-traversal locking is
 // equivalent to holding the lock for the whole cycle.
 func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	t.sharedProbe(ts, ix, clients, nil, emit)
+}
+
+// ProbeBuffers is the reusable per-cycle scratch of a pooled shared probe
+// (one instance per probe operator node, reused across generations).
+type ProbeBuffers struct {
+	ids []queryset.QueryID
+}
+
+// SharedProbePooled is SharedProbe with borrowed query sets: emitted sets
+// live in bufs and are valid only during the emit callback, so the
+// steady-state probe cycle allocates no per-row id slices. Callers that
+// retain a set must copy it.
+func (t *Table) SharedProbePooled(ts uint64, ix *Index, clients []ProbeClient, bufs *ProbeBuffers, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	t.sharedProbe(ts, ix, clients, bufs, emit)
+}
+
+func (t *Table) sharedProbe(ts uint64, ix *Index, clients []ProbeClient, bufs *ProbeBuffers, emit func(rid RowID, row types.Row, qs queryset.Set)) {
 	if len(clients) == 0 {
 		return
 	}
@@ -63,6 +83,19 @@ func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit fu
 	}
 
 	var buf []queryset.QueryID
+	if bufs != nil {
+		buf = bufs.ids[:0]
+	}
+	// borrow materializes buf as the emitted set: pooled probes hand out the
+	// scratch directly (valid during emit only), unpooled ones copy.
+	borrow := func() queryset.Set {
+		if bufs != nil {
+			bufs.ids = buf
+			slices.Sort(buf)
+			return queryset.FromSorted(buf)
+		}
+		return queryset.Of(buf...)
+	}
 	for _, g := range groups {
 		g := g
 		t.IndexSeekAt(ix, g.key, ts, func(rid RowID, row types.Row) bool {
@@ -73,7 +106,7 @@ func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit fu
 				}
 			}
 			if len(buf) > 0 {
-				emit(rid, row, queryset.Of(buf...))
+				emit(rid, row, borrow())
 			}
 			return true
 		})
@@ -83,7 +116,12 @@ func (t *Table) SharedProbe(ts uint64, ix *Index, clients []ProbeClient, emit fu
 		c := c
 		t.IndexScanAt(ix, c.Lo, c.Hi, c.LoIncl, c.HiIncl, ts, func(rid RowID, row types.Row) bool {
 			if expr.TruthyEval(c.Residual, row, nil) {
-				emit(rid, row, queryset.Single(c.ID))
+				if bufs != nil {
+					buf = append(buf[:0], c.ID)
+					emit(rid, row, borrow())
+				} else {
+					emit(rid, row, queryset.Single(c.ID))
+				}
 			}
 			return true
 		})

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds cross-package test helpers. RaceEnabled lets
+// allocation-gate tests skip under the race detector, whose instrumentation
+// changes allocation counts.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = false

@@ -192,12 +192,3 @@ func EncodeKey(vals ...Value) string {
 	}
 	return string(b)
 }
-
-// HashRow hashes the given columns of a row.
-func HashRow(r Row, cols []int) uint64 {
-	h := uint64(1469598103934665603)
-	for _, c := range cols {
-		h = h*1099511628211 ^ r[c].Hash()
-	}
-	return h
-}
