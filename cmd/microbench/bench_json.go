@@ -46,6 +46,7 @@ type benchReport struct {
 		Items     int   `json:"items"`
 		Customers int   `json:"customers"`
 		Workers   int   `json:"workers"`
+		Shards    int   `json:"shards"`
 		Seed      int64 `json:"seed"`
 	} `json:"config"`
 	Results []benchRecord `json:"results"`
@@ -105,6 +106,7 @@ func runJSONBench(opts experiments.Options) error {
 	report.Config.Items = opts.Scale.Items
 	report.Config.Customers = opts.Scale.Customers
 	report.Config.Workers = opts.Workers
+	report.Config.Shards = opts.Shards
 	report.Config.Seed = opts.Seed
 
 	// Per-operator benches on a dedicated engine over a fresh TPC-W load.
@@ -156,10 +158,39 @@ func runJSONBench(opts experiments.Options) error {
 	}
 
 	// TPC-W interaction mix on a fresh environment (its writes must not
-	// skew the per-operator data above).
-	env, err := experiments.NewEnv(experiments.SharedDB, opts.Scale, opts.Seed, opts.Workers)
+	// skew the per-operator data above), then the same mix on a sharded
+	// deployment — the scale-out trajectory entry.
+	shardCounts := []int{1, 2}
+	switch {
+	case opts.Shards == 1:
+		shardCounts = shardCounts[:1] // single-engine only
+	case opts.Shards > 1:
+		shardCounts[1] = opts.Shards
+	}
+	for _, shards := range shardCounts {
+		r, err := benchMix(opts, shards)
+		if err != nil {
+			return err
+		}
+		name, desc := "tpcw_mix", "TPC-W Shopping mix, concurrent sessions"
+		if shards > 1 {
+			name = fmt.Sprintf("tpcw_mix_shards%d", shards)
+			desc = fmt.Sprintf("TPC-W Shopping mix on %d shard engines (hash-partitioned tables, scatter-gather router)", shards)
+		}
+		report.Results = append(report.Results, record(name, desc, "interaction", 1, r))
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	return out.Encode(report)
+}
+
+// benchMix measures the concurrent TPC-W Shopping mix on a fresh
+// environment with the given shard count.
+func benchMix(opts experiments.Options, shards int) (testing.BenchmarkResult, error) {
+	env, err := experiments.NewEnvSharded(experiments.SharedDB, opts.Scale, opts.Seed, opts.Workers, shards)
 	if err != nil {
-		return err
+		return testing.BenchmarkResult{}, err
 	}
 	defer env.Close()
 	mixResult := testing.Benchmark(func(b *testing.B) {
@@ -197,10 +228,5 @@ func runJSONBench(opts experiments.Options) error {
 			}
 		})
 	})
-	report.Results = append(report.Results,
-		record("tpcw_mix", "TPC-W Shopping mix, concurrent sessions", "interaction", 1, mixResult))
-
-	out := json.NewEncoder(os.Stdout)
-	out.SetIndent("", "  ")
-	return out.Encode(report)
+	return mixResult, nil
 }

@@ -31,6 +31,7 @@ func main() {
 	window := flag.Duration("window", 2*time.Second, "measurement window per data point")
 	seed := flag.Int64("seed", 2012, "data generator seed")
 	workers := flag.Int("workers", 0, "SharedDB intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "SharedDB shard engines for the sharded TPC-W mix bench (0 = default 2, 1 = skip the sharded entry)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable scan/join/sort/TPC-W-mix benchmark baseline on stdout")
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		PointDuration: *window,
 		Seed:          *seed,
 		Workers:       *workers,
+		Shards:        *shards,
 	}
 
 	if *jsonOut {

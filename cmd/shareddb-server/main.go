@@ -28,11 +28,28 @@ import (
 func main() {
 	listen := flag.String("listen", ":5843", "listen address")
 	wal := flag.String("wal", "", "WAL directory (empty = no durability)")
-	pipeline := flag.Int("pipeline", 0, "max generations in flight (0 = engine default, 1 = serial, negative clamps to serial)")
+	pipeline := flag.Int("pipeline", 0, "max generations in flight (0 = engine default, 1 = serial; negative values are rejected)")
 	workers := flag.Int("workers", 0, "intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "shard engines with hash-partitioned tables (0 or 1 = single engine)")
+	replicate := flag.String("replicate", "", "comma-separated tables to replicate to every shard instead of partitioning")
+	partition := flag.String("partition", "", "partition-key overrides as table=col[+col...],... (default: primary key)")
 	flag.Parse()
 
-	db, err := shareddb.Open(shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers})
+	cfg := shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers, Shards: *shards}
+	if *replicate != "" {
+		cfg.ReplicatedTables = strings.Split(*replicate, ",")
+	}
+	if *partition != "" {
+		cfg.PartitionKeys = map[string][]string{}
+		for _, spec := range strings.Split(*partition, ",") {
+			table, cols, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("bad -partition entry %q (want table=col[+col...])", spec)
+			}
+			cfg.PartitionKeys[table] = strings.Split(cols, "+")
+		}
+	}
+	db, err := shareddb.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,6 +32,7 @@ func main() {
 	saturate := flag.Int("saturate", 128, "closed-loop clients for figures 8 and 9")
 	mixFlag := flag.String("mix", "all", "mix for figures 7/8: browsing, shopping, ordering or all")
 	seed := flag.Int64("seed", 2012, "data generator seed")
+	shards := flag.Int("shards", 0, "SharedDB shard engines (0 or 1 = single engine)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -39,6 +40,7 @@ func main() {
 		PointDuration: *dur,
 		ThinkTime:     *think,
 		Seed:          *seed,
+		Shards:        *shards,
 	}
 	mixes := parseMixes(*mixFlag)
 

@@ -3,12 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
-	"strings"
 	"testing"
 
 	"shareddb/internal/baseline"
 	"shareddb/internal/plan"
+	"shareddb/internal/testutil"
 	"shareddb/internal/types"
 )
 
@@ -21,36 +20,12 @@ import (
 // engines — concurrently and in big batches on the shared engine — and
 // compares per-query result multisets.
 
-// canon renders rows as a sorted multiset fingerprint.
-func canon(rows []types.Row) []string {
-	out := make([]string, len(rows))
-	for i, r := range rows {
-		parts := make([]string, len(r))
-		for j, v := range r {
-			if v.Kind() == types.KindFloat {
-				parts[j] = fmt.Sprintf("%.6f", v.AsFloat())
-			} else {
-				parts[j] = v.String()
-			}
-		}
-		out[i] = strings.Join(parts, "|")
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sameRows(a, b []types.Row) bool {
-	ca, cb := canon(a), canon(b)
-	if len(ca) != len(cb) {
-		return false
-	}
-	for i := range ca {
-		if ca[i] != cb[i] {
-			return false
-		}
-	}
-	return true
-}
+// canon/sameRows live in internal/testutil (shared with the shard router
+// and TPC-W differential suites — one float-rounding width for all).
+var (
+	canon    = testutil.CanonRows
+	sameRows = testutil.SameRows
+)
 
 func TestDifferentialSharedVsQueryAtATime(t *testing.T) {
 	db, closeDB := bookstore(t)
@@ -99,6 +74,13 @@ func TestDifferentialSharedVsQueryAtATime(t *testing.T) {
 			}},
 		{"SELECT DISTINCT i_subject FROM item WHERE i_price < ?",
 			func(r *rand.Rand) []types.Value { return []types.Value{types.NewFloat(r.Float64() * 120)} }},
+		// HAVING over DISTINCT aggregates (also through the sharded merge
+		// in internal/shard's differential sweep)
+		{"SELECT i_subject, COUNT(DISTINCT i_a_id) FROM item GROUP BY i_subject HAVING COUNT(DISTINCT i_a_id) > ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(25)))} }},
+		{`SELECT i_subject, MAX(i_price) FROM item GROUP BY i_subject
+		  HAVING COUNT(DISTINCT i_a_id) > ? ORDER BY i_subject`,
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(25)))} }},
 		{"SELECT COUNT(*) FROM orders WHERE o_c_id = ?",
 			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(12)))} }},
 		{"SELECT o_id, o_total FROM orders WHERE o_id = ?",

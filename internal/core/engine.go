@@ -56,10 +56,11 @@ type Config struct {
 	MaxBatch int
 	// MaxInFlightGenerations bounds how many generations may execute
 	// concurrently. 1 restores strictly serial generations (the classic
-	// generation barrier); 0 selects DefaultMaxInFlightGenerations;
-	// negative values clamp to 1 (the conservative reading of "less than
-	// serial"). Write phases always apply in generation order regardless
-	// of this setting; only read phases overlap.
+	// generation barrier); 0 selects DefaultMaxInFlightGenerations.
+	// Negative values are rejected by Config.Validate (the public API
+	// path); New clamps them to 1 as a backstop. Write phases always
+	// apply in generation order regardless of this setting; only read
+	// phases overlap.
 	MaxInFlightGenerations int
 	// Workers is the intra-operator parallelism budget per generation
 	// cycle: the partitioned ClockScan splits each table scan into that
@@ -67,8 +68,10 @@ type Config struct {
 	// data-parallel Finish phases (partitioned sort + k-way merge,
 	// partitioned hash aggregation, parallel join build). 0 selects
 	// GOMAXPROCS (one worker per core, the paper's Crescando setup);
-	// 1 (or negative) is strictly serial and byte-identical to the
-	// pre-parallel engine. Per-query results are identical at any setting.
+	// 1 is strictly serial and byte-identical to the pre-parallel engine
+	// (negative values are rejected by Config.Validate; New clamps them
+	// to serial as a backstop). Per-query results are identical at any
+	// setting.
 	Workers int
 }
 
@@ -220,9 +223,17 @@ func (e *Engine) Submit(stmt *plan.Statement, params []types.Value) *Result {
 	return req.Result
 }
 
-// SubmitTx enqueues a transaction commit for the next generation.
-func (e *Engine) SubmitTx(tx *storage.Tx) *Result {
-	req := &Request{Tx: tx, Result: &Result{done: make(chan struct{})}}
+// SubmitTx enqueues a transaction commit for the next generation. The
+// transaction must come from this engine's BeginTx (or its database's
+// Begin); foreign Tx implementations fail immediately.
+func (e *Engine) SubmitTx(tx Tx) *Result {
+	stx, ok := tx.(*storage.Tx)
+	if !ok {
+		res := NewPendingResult()
+		res.Complete(errNotStorageTx)
+		return res
+	}
+	req := &Request{Tx: stx, Result: &Result{done: make(chan struct{})}}
 	e.enqueue(req)
 	return req.Result
 }
@@ -326,6 +337,17 @@ func (e *Engine) generationDone() {
 // pipeline has drained (the ad-hoc query path of §3.2, now a pipeline
 // quiesce instead of a between-generations slot).
 func (e *Engine) Prepare(sqlText string) (*plan.Statement, error) {
+	return e.prepare(sqlText, nil)
+}
+
+// PrepareParsed registers an already-parsed statement, with the same
+// pipeline quiesce as Prepare. The shard router uses it to install partial
+// (rewritten) statements without rendering them back to SQL.
+func (e *Engine) PrepareParsed(sqlText string, ast sql.Statement) (*plan.Statement, error) {
+	return e.prepare(sqlText, ast)
+}
+
+func (e *Engine) prepare(sqlText string, ast sql.Statement) (*plan.Statement, error) {
 	e.mu.Lock()
 	e.preparers++
 	for e.inFlight > 0 && !e.stopped {
@@ -340,7 +362,13 @@ func (e *Engine) Prepare(sqlText string) (*plan.Statement, error) {
 		return nil, errors.New("core: engine closed")
 	}
 	e.mu.Unlock()
-	stmt, err := e.plan.Prepare(sqlText)
+	var stmt *plan.Statement
+	var err error
+	if ast != nil {
+		stmt, err = e.plan.PrepareParsed(sqlText, ast)
+	} else {
+		stmt, err = e.plan.Prepare(sqlText)
+	}
 	e.mu.Lock()
 	e.preparers--
 	e.cond.Broadcast()

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/plan"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// Executor is the statement-submission API shared by the single-node Engine
+// and the sharded router (internal/shard). The public shareddb package, the
+// TPC-W harness and the command-line tools program against this interface,
+// so a deployment can swap one engine for N shard engines without the
+// callers changing.
+//
+// Prepare returns a *plan.Statement handle; for the sharded backend the
+// handle is a routing descriptor rather than a statement registered in one
+// global plan, but SQL/IsWrite/OutSchema behave identically.
+type Executor interface {
+	Prepare(sqlText string) (*plan.Statement, error)
+	Submit(stmt *plan.Statement, params []types.Value) *Result
+	// BeginTx opens a buffered write transaction; SubmitTx enqueues its
+	// commit for the next generation.
+	BeginTx() Tx
+	SubmitTx(tx Tx) *Result
+	// Stats reports generations run, queries served and writes applied
+	// (summed across shards for the sharded backend).
+	Stats() (generations, queries, writes uint64)
+	// Workers reports the resolved intra-operator parallelism budget (per
+	// shard for the sharded backend).
+	Workers() int
+	Close()
+}
+
+// Tx is the backend-agnostic buffered write transaction: *storage.Tx for
+// the single-node engine, a per-shard transaction group for the router.
+// Writes buffer until the transaction is submitted; Rollback abandons it.
+type Tx interface {
+	Insert(table string, row types.Row)
+	Update(table string, pred expr.Expr, set []storage.ColSet)
+	Delete(table string, pred expr.Expr)
+	Rollback()
+}
+
+var (
+	_ Executor = (*Engine)(nil)
+	_ Tx       = (*storage.Tx)(nil)
+)
+
+// BeginTx opens a snapshot-isolated transaction on the engine's database.
+func (e *Engine) BeginTx() Tx { return e.db.Begin() }
+
+// NewPendingResult returns an unfinished Result for callers that assemble
+// results outside an engine generation (the shard router's scatter-gather
+// path). Complete the result exactly once with Complete.
+func NewPendingResult() *Result { return &Result{done: make(chan struct{})} }
+
+// Complete finishes a pending result, releasing its waiters.
+func (r *Result) Complete(err error) {
+	r.Err = err
+	close(r.done)
+}
+
+// Validate rejects configurations that previously defaulted silently:
+// negative Workers and negative MaxInFlightGenerations. (Zero still means
+// "engine default" for both.)
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d (0 = GOMAXPROCS, 1 = serial)", c.Workers)
+	}
+	if c.MaxInFlightGenerations < 0 {
+		return fmt.Errorf("core: MaxInFlightGenerations must be >= 0, got %d (0 = engine default, 1 = serial)", c.MaxInFlightGenerations)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("core: MaxBatch must be >= 0, got %d (0 = unlimited)", c.MaxBatch)
+	}
+	return nil
+}
+
+// errNotStorageTx is returned when a foreign Tx implementation reaches the
+// single-node engine.
+var errNotStorageTx = errors.New("core: SubmitTx requires a transaction from this engine's BeginTx")

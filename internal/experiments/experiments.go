@@ -43,7 +43,8 @@ var AllSystems = []SystemKind{MySQL, SystemX, SharedDB}
 
 // Env is one freshly loaded TPC-W database plus a system under test.
 type Env struct {
-	DB    *storage.Database
+	DB    *storage.Database // first shard on sharded runs
+	dbs   []*storage.Database
 	Gen   *tpcw.Generator
 	IDs   *tpcw.IDAllocator
 	Sys   tpcw.System
@@ -56,6 +57,43 @@ type Env struct {
 // the query-at-a-time baselines ignore it (their parallelism is one core
 // per query by construction).
 func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64, workers int) (*Env, error) {
+	return NewEnvSharded(kind, scale, seed, workers, 1)
+}
+
+// NewEnvSharded is NewEnv with a shard count: shards > 1 runs SharedDB as
+// a sharded deployment (hash-partitioned TPC-W tables behind the
+// scatter-gather router, tpcw.ShardedPlacement). The query-at-a-time
+// baselines stay single-node — their comparison point is the unsharded
+// engine.
+func NewEnvSharded(kind SystemKind, scale tpcw.Scale, seed int64, workers, shards int) (*Env, error) {
+	if kind == SharedDB && shards > 1 {
+		dbs := make([]*storage.Database, 0, shards)
+		closeAll := func() {
+			for _, db := range dbs {
+				db.Close()
+			}
+		}
+		for i := 0; i < shards; i++ {
+			db, err := storage.Open(storage.Options{Shard: storage.ShardInfo{Index: i, Count: shards}})
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			dbs = append(dbs, db)
+		}
+		gen, err := tpcw.SetupSharded(dbs, scale, seed)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		sys, err := tpcw.NewShardedSystem(dbs, core.Config{Workers: workers})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		return &Env{DB: dbs[0], dbs: dbs, Gen: gen, IDs: tpcw.NewIDAllocator(gen),
+			Sys: sys, Scale: scale}, nil
+	}
 	db, err := storage.Open(storage.Options{})
 	if err != nil {
 		return nil, err
@@ -64,7 +102,7 @@ func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64, workers int) (*Env, e
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{DB: db, Gen: gen, IDs: tpcw.NewIDAllocator(gen), Scale: scale}
+	env := &Env{DB: db, dbs: []*storage.Database{db}, Gen: gen, IDs: tpcw.NewIDAllocator(gen), Scale: scale}
 	switch kind {
 	case SharedDB:
 		sys, err := tpcw.NewSharedSystem(db, core.Config{Workers: workers})
@@ -91,7 +129,9 @@ func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64, workers int) (*Env, e
 // Close releases the environment.
 func (e *Env) Close() {
 	e.Sys.Close()
-	e.DB.Close()
+	for _, db := range e.dbs {
+		db.Close()
+	}
 }
 
 // Options tunes experiment size so the binaries can run paper-shaped sweeps
@@ -102,6 +142,7 @@ type Options struct {
 	ThinkTime     time.Duration // mean EB think time (scaled-down 7 s)
 	Seed          int64
 	Workers       int // SharedDB intra-operator workers (0 = GOMAXPROCS)
+	Shards        int // SharedDB shard engines (0 or 1 = single engine)
 }
 
 // DefaultOptions is the laptop-scale configuration.
@@ -130,7 +171,7 @@ type Fig7Point struct {
 func Fig7(mix tpcw.Mix, ebCounts []int, opts Options) (map[SystemKind][]Fig7Point, error) {
 	out := map[SystemKind][]Fig7Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
+		env, err := NewEnvSharded(kind, opts.Scale, opts.Seed, opts.Workers, opts.Shards)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +209,7 @@ func Fig8(mix tpcw.Mix, cores []int, saturate int, opts Options, setProcs Gomaxp
 	for _, kind := range AllSystems {
 		for _, n := range cores {
 			prev := setProcs(n)
-			env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
+			env, err := NewEnvSharded(kind, opts.Scale, opts.Seed, opts.Workers, opts.Shards)
 			if err != nil {
 				setProcs(prev)
 				return nil, err
@@ -198,7 +239,7 @@ type Fig9Point struct {
 func Fig9(clients int, opts Options) (map[SystemKind][]Fig9Point, error) {
 	out := map[SystemKind][]Fig9Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
+		env, err := NewEnvSharded(kind, opts.Scale, opts.Seed, opts.Workers, opts.Shards)
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +283,7 @@ func (q Fig10Query) String() string {
 func Fig10(query Fig10Query, sizes []int, opts Options) (map[SystemKind][]Fig10Point, error) {
 	out := map[SystemKind][]Fig10Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
+		env, err := NewEnvSharded(kind, opts.Scale, opts.Seed, opts.Workers, opts.Shards)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +344,7 @@ type Fig11Point struct {
 func Fig11(lightRate float64, heavyRates []float64, opts Options) (map[SystemKind][]Fig11Point, error) {
 	out := map[SystemKind][]Fig11Point{}
 	for _, kind := range AllSystems {
-		env, err := NewEnv(kind, opts.Scale, opts.Seed, opts.Workers)
+		env, err := NewEnvSharded(kind, opts.Scale, opts.Seed, opts.Workers, opts.Shards)
 		if err != nil {
 			return nil, err
 		}

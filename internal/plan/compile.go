@@ -33,6 +33,14 @@ func (p *GlobalPlan) Prepare(sqlText string) (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.PrepareParsed(sqlText, stmtAST)
+}
+
+// PrepareParsed compiles an already-parsed statement into the global plan.
+// The shard router prepares rewritten (partial) statements through this
+// path, since those exist as ASTs rather than SQL text. The AST is bound
+// against this plan's catalog and must not be mutated afterwards.
+func (p *GlobalPlan) PrepareParsed(sqlText string, stmtAST sql.Statement) (*Statement, error) {
 	bound, err := sql.PlanStatement(stmtAST, dbCatalog{p.db})
 	if err != nil {
 		return nil, err

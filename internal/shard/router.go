@@ -1,0 +1,664 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"shareddb/internal/core"
+	"shareddb/internal/expr"
+	"shareddb/internal/plan"
+	"shareddb/internal/sql"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// Placement decides how each table distributes across shards.
+//
+// The default policy: tables with a primary key are hash-partitioned on it;
+// tables without one are replicated to every shard. Replicated lists
+// tables to replicate regardless (dimension tables every shard joins
+// against); PartitionKeys overrides the partition key (co-partitioning a
+// detail table with its parent, e.g. order lines on their order id).
+//
+// Placement is fixed for the life of a deployment: the loader (Stores) and
+// the router must use the same policy, or rows end up on shards the router
+// never looks at.
+type Placement struct {
+	Replicated    []string
+	PartitionKeys map[string][]string
+}
+
+// tableRouting resolves one table's distribution against a shard's catalog:
+// the partition-key schema indices, or replicated=true. Unknown tables
+// report ok=false.
+func (p Placement) tableRouting(db *storage.Database, name string) (cols []int, replicated bool, ok bool) {
+	t := db.Table(name)
+	if t == nil {
+		return nil, false, false
+	}
+	for _, r := range p.Replicated {
+		if r == name {
+			return nil, true, true
+		}
+	}
+	if names, override := p.PartitionKeys[name]; override {
+		cols = make([]int, len(names))
+		for i, n := range names {
+			ci, err := t.Schema().ColIndex(n)
+			if err != nil {
+				// Validated at New for existing tables; unresolvable
+				// overrides on later DDL fall back to the primary key.
+				cols = nil
+				break
+			}
+			cols[i] = ci
+		}
+		if cols != nil {
+			return cols, false, true
+		}
+	}
+	if pk := t.PrimaryKey(); pk != nil {
+		return pk.Cols, false, true
+	}
+	return nil, true, true
+}
+
+// validate eagerly checks PartitionKeys overrides against tables that
+// already exist.
+func (p Placement) validate(db *storage.Database) error {
+	for name, cols := range p.PartitionKeys {
+		t := db.Table(name)
+		if t == nil {
+			continue // table may be created later
+		}
+		for _, c := range cols {
+			if _, err := t.Schema().ColIndex(c); err != nil {
+				return fmt.Errorf("shard: partition key for table %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Router is the scatter-gather front of a sharded deployment: it owns one
+// core.Engine per shard database and implements core.Executor, so callers
+// cannot tell it from a single engine. Statement classification and merge
+// recipes are compiled once at Prepare; Submit routes point statements to
+// the owning shard (pass-through — the shard engine's Result is returned
+// untouched, no copying at the seam) and scatters everything else.
+//
+// With a single shard the router is a pure pass-through: statements are
+// prepared unrewritten on the one engine and Submit forwards directly, so
+// Shards=1 behavior is byte-identical to an unsharded engine.
+type Router struct {
+	dbs       []*storage.Database
+	plans     []*plan.GlobalPlan
+	engines   []*core.Engine
+	part      storage.Partitioning
+	placement Placement
+	single    bool
+	rr        atomic.Uint64 // round-robin cursor for RouteAny reads
+
+	mu    sync.RWMutex
+	stmts map[*plan.Statement]*routedStmt
+
+	// wmu serializes broadcast-write fan-out: without it, two concurrent
+	// writers could enqueue on shard A in one order and on shard B in the
+	// other, and since each shard applies writes in its own arrival order,
+	// replicated copies (and the effects of overlapping predicate writes)
+	// would diverge permanently. Holding wmu across the enqueue loop makes
+	// every shard see broadcast writes in one global order; point writes
+	// touch a single shard and need no ordering.
+	wmu sync.Mutex
+}
+
+var _ core.Executor = (*Router)(nil)
+
+// routedStmt is one prepared statement's routing state: the classification
+// plus the per-shard registered statements.
+type routedStmt struct {
+	sp       *sql.ShardStatement
+	perShard []*plan.Statement
+}
+
+// New builds a router over the given shard databases (one engine each).
+// The databases must hold identical schemas; rows must have been loaded
+// through the same placement (Stores.ApplyOps or the write path).
+func New(dbs []*storage.Database, cfg core.Config, placement Placement) (*Router, error) {
+	if len(dbs) == 0 {
+		return nil, errors.New("shard: at least one shard database required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := placement.validate(dbs[0]); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		dbs:       dbs,
+		part:      storage.Partitioning{Shards: len(dbs)},
+		placement: placement,
+		single:    len(dbs) == 1,
+		stmts:     map[*plan.Statement]*routedStmt{},
+	}
+	for _, db := range dbs {
+		gp := plan.New(db)
+		r.plans = append(r.plans, gp)
+		r.engines = append(r.engines, core.New(db, gp, cfg))
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.dbs) }
+
+// Workers reports the per-shard intra-operator parallelism budget.
+func (r *Router) Workers() int { return r.engines[0].Workers() }
+
+// ValidateTable checks the placement overrides against a (typically newly
+// created) table, so a typo'd partition-key column surfaces at DDL time
+// instead of silently falling back to the primary key. The DDL path calls
+// this after creating a table on every shard.
+func (r *Router) ValidateTable(name string) error {
+	cols, ok := r.placement.PartitionKeys[name]
+	if !ok {
+		return nil
+	}
+	t := r.dbs[0].Table(name)
+	if t == nil {
+		return nil
+	}
+	for _, c := range cols {
+		if _, err := t.Schema().ColIndex(c); err != nil {
+			return fmt.Errorf("shard: partition key for table %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Engines exposes the per-shard engines (stats, tests).
+func (r *Router) Engines() []*core.Engine { return r.engines }
+
+// Databases exposes the per-shard storage databases.
+func (r *Router) Databases() []*storage.Database { return r.dbs }
+
+// Partitioning returns the router's hash partitioner.
+func (r *Router) Partitioning() storage.Partitioning { return r.part }
+
+// Close stops every shard engine.
+func (r *Router) Close() {
+	for _, e := range r.engines {
+		e.Close()
+	}
+}
+
+// Stats sums the shard engines' counters.
+func (r *Router) Stats() (generations, queries, writes uint64) {
+	for _, e := range r.engines {
+		g, q, w := e.Stats()
+		generations += g
+		queries += q
+		writes += w
+	}
+	return
+}
+
+// Describe renders shard 0's operator DAG (all shards compile the same
+// statements, so the plans are isomorphic).
+func (r *Router) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %d shards, plan of shard 0 --\n", len(r.dbs))
+	b.WriteString(r.plans[0].Describe())
+	return b.String()
+}
+
+// shardCatalog resolves schemas and placement against one shard's storage
+// (schemas are identical across shards).
+type shardCatalog struct {
+	db        *storage.Database
+	placement Placement
+}
+
+func (c shardCatalog) TableSchema(name string) (*types.Schema, bool) {
+	t := c.db.Table(name)
+	if t == nil {
+		return nil, false
+	}
+	return t.Schema(), true
+}
+
+func (c shardCatalog) TablePlacement(name string) ([]int, bool, bool) {
+	return c.placement.tableRouting(c.db, name)
+}
+
+// Prepare classifies the statement, registers the per-shard statement (the
+// original, or the partial rewrite the merge needs) on every shard engine,
+// and returns the canonical client handle.
+func (r *Router) Prepare(sqlText string) (*plan.Statement, error) {
+	if r.single {
+		return r.engines[0].Prepare(sqlText)
+	}
+	ast, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sql.PlanShards(ast, shardCatalog{db: r.dbs[0], placement: r.placement})
+	if err != nil {
+		return nil, err
+	}
+	if sp.UpdatesKey {
+		return nil, fmt.Errorf("shard: UPDATE of a primary-key column is not supported on a sharded deployment (rows cannot migrate between shards): %s", sqlText)
+	}
+	// Serialize preparation so every shard registers statements in the
+	// same order (sharing signatures involving statement ids stay aligned).
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := &routedStmt{sp: sp, perShard: make([]*plan.Statement, len(r.engines))}
+	var execAST sql.Statement = ast
+	if sp.Exec != nil {
+		execAST = sp.Exec
+	}
+	for i, e := range r.engines {
+		ps, err := e.PrepareParsed(sqlText, execAST)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		rs.perShard[i] = ps
+	}
+	canon := &plan.Statement{
+		ID:        len(r.stmts),
+		SQL:       sqlText,
+		NumParams: sql.NumParams(ast),
+		OutSchema: sp.OutSchema,
+		SinkLimit: -1,
+		Write:     sp.Write,
+	}
+	r.stmts[canon] = rs
+	return canon, nil
+}
+
+// shardFor evaluates the statement's routing key with the activation's
+// parameters and hashes it to the owning shard. The common case (few key
+// columns) runs allocation-free.
+func (r *Router) shardFor(keyExprs []expr.Expr, params []types.Value) int {
+	var buf [4]types.Value
+	keys := buf[:0]
+	if len(keyExprs) > len(buf) {
+		keys = make([]types.Value, 0, len(keyExprs))
+	}
+	for _, e := range keyExprs {
+		keys = append(keys, e.Eval(nil, params))
+	}
+	return r.part.ShardOf(keys...)
+}
+
+func failedResult(err error) *core.Result {
+	res := core.NewPendingResult()
+	res.Complete(err)
+	return res
+}
+
+// Submit routes one statement activation. Point statements pass through to
+// the owning shard engine; broadcast statements scatter to every shard and
+// gather through the statement's merge spec.
+func (r *Router) Submit(stmt *plan.Statement, params []types.Value) *core.Result {
+	if r.single {
+		return r.engines[0].Submit(stmt, params)
+	}
+	r.mu.RLock()
+	rs := r.stmts[stmt]
+	r.mu.RUnlock()
+	if rs == nil {
+		return failedResult(errors.New("shard: statement was not prepared on this router"))
+	}
+	sp := rs.sp
+	switch sp.Route {
+	case sql.RoutePoint:
+		s := r.shardFor(sp.KeyExprs, params)
+		return r.engines[s].Submit(rs.perShard[s], params)
+	case sql.RouteAny:
+		// Replicated-only read: every shard holds the data; round-robin
+		// spreads the load (this is where replicated reads scale linearly
+		// with the shard count).
+		s := int(r.rr.Add(1) % uint64(len(r.engines)))
+		return r.engines[s].Submit(rs.perShard[s], params)
+	}
+	// Scatter to all shards. Writes enqueue under wmu so every shard sees
+	// concurrent broadcast writes in the same arrival order.
+	subs := make([]*core.Result, len(r.engines))
+	if sp.Write != nil {
+		r.wmu.Lock()
+	}
+	for i, e := range r.engines {
+		subs[i] = e.Submit(rs.perShard[i], params)
+	}
+	if sp.Write != nil {
+		r.wmu.Unlock()
+	}
+	res := core.NewPendingResult()
+	res.Schema = sp.OutSchema
+	go func() {
+		var firstErr error
+		shardRows := make([][]types.Row, len(subs))
+		affected := 0
+		for i, sub := range subs {
+			err := sub.Wait()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			shardRows[i] = sub.Rows
+			affected += sub.RowsAffected
+			if sub.SnapshotTS > res.SnapshotTS {
+				res.SnapshotTS = sub.SnapshotTS
+			}
+		}
+		if firstErr != nil {
+			res.Complete(firstErr)
+			return
+		}
+		switch {
+		case sp.Write != nil && sp.WriteReplicated:
+			// Every shard applied the same mutation to its full copy;
+			// report one copy's count, not the sum.
+			res.RowsAffected = subs[0].RowsAffected
+		case sp.Write != nil:
+			res.RowsAffected = affected
+		default:
+			res.Rows = MergeResults(shardRows, sp.Merge, params)
+		}
+		res.Complete(nil)
+	}()
+	return res
+}
+
+// Tx is the router's transaction group: one buffered storage transaction
+// per shard, with each write routed as it is buffered. Commit (SubmitTx)
+// submits every dirty shard transaction to its engine; snapshot-isolation
+// validation runs per shard. Cross-shard commits are not atomic — a
+// conflict on one shard does not roll back another shard's writes (see
+// README "Sharding" for the contract).
+type Tx struct {
+	r     *Router
+	txs   []*storage.Tx
+	dirty []bool
+	err   error // first routing error; surfaces at SubmitTx
+}
+
+var _ core.Tx = (*Tx)(nil)
+
+// BeginTx opens a transaction group reading each shard at its current
+// snapshot. With a single shard this is the engine's own transaction.
+func (r *Router) BeginTx() core.Tx {
+	if r.single {
+		return r.engines[0].BeginTx()
+	}
+	t := &Tx{r: r, txs: make([]*storage.Tx, len(r.dbs)), dirty: make([]bool, len(r.dbs))}
+	for i, db := range r.dbs {
+		t.txs[i] = db.Begin()
+	}
+	return t
+}
+
+// shardOfRow hashes a row's partition-key columns to its owning shard.
+func shardOfRow(part storage.Partitioning, cols []int, row types.Row) int {
+	var buf [4]types.Value
+	keys := buf[:0]
+	if len(cols) > len(buf) {
+		keys = make([]types.Value, 0, len(cols))
+	}
+	for _, c := range cols {
+		keys = append(keys, row[c])
+	}
+	return part.ShardOf(keys...)
+}
+
+// shardOfPred resolves a bound predicate (constants substituted) to the
+// owning shard, or -1 when it does not pin every partition-key column by
+// equality. Matching mirrors the engine's index selection: first equality
+// conjunct per column wins.
+func shardOfPred(part storage.Partitioning, cols []int, pred expr.Expr) int {
+	if len(cols) == 0 {
+		return -1
+	}
+	eq := map[int]types.Value{}
+	for _, c := range expr.Conjuncts(pred) {
+		if col, v, ok := expr.EqualityMatch(c); ok {
+			if _, dup := eq[col]; !dup {
+				eq[col] = v
+			}
+		}
+	}
+	keys := make([]types.Value, len(cols))
+	for i, c := range cols {
+		v, ok := eq[c]
+		if !ok {
+			return -1
+		}
+		keys[i] = v
+	}
+	return part.ShardOf(keys...)
+}
+
+// Insert buffers an insert on the owning shard (or on every shard for
+// replicated tables).
+func (t *Tx) Insert(table string, row types.Row) {
+	cols, replicated, ok := t.r.placement.tableRouting(t.r.dbs[0], table)
+	if !ok || replicated {
+		// Unknown tables surface their error at commit; replicated tables
+		// insert everywhere.
+		for i := range t.txs {
+			t.txs[i].Insert(table, row)
+			t.dirty[i] = true
+		}
+		return
+	}
+	s := shardOfRow(t.r.part, cols, row)
+	t.txs[s].Insert(table, row)
+	t.dirty[s] = true
+}
+
+// predShard resolves a bound predicate to the owning shard, or -1 when the
+// table is replicated or the predicate does not pin the full partition key
+// (broadcast).
+func (t *Tx) predShard(table string, pred expr.Expr) int {
+	cols, replicated, ok := t.r.placement.tableRouting(t.r.dbs[0], table)
+	if !ok || replicated {
+		return -1
+	}
+	return shardOfPred(t.r.part, cols, pred)
+}
+
+// Update buffers an update: on the owning shard when pred pins the
+// partition key, else on every shard (disjoint partitions and replicated
+// copies both make the union of per-shard effects equal the unsharded
+// update). Assigning a partition-key column is rejected (rows cannot
+// migrate between shards) — the same guard Prepare applies, surfaced at
+// commit because this interface has no error return.
+func (t *Tx) Update(table string, pred expr.Expr, set []storage.ColSet) {
+	if cols, replicated, ok := t.r.placement.tableRouting(t.r.dbs[0], table); ok && !replicated {
+		for _, sc := range set {
+			for _, c := range cols {
+				if sc.Col == c && t.err == nil {
+					t.err = fmt.Errorf("shard: UPDATE of partition-key column of table %q is not supported on a sharded deployment (rows cannot migrate between shards)", table)
+				}
+			}
+		}
+	}
+	if s := t.predShard(table, pred); s >= 0 {
+		t.txs[s].Update(table, pred, set)
+		t.dirty[s] = true
+		return
+	}
+	for i := range t.txs {
+		t.txs[i].Update(table, pred, set)
+		t.dirty[i] = true
+	}
+}
+
+// Delete buffers a delete, routed like Update.
+func (t *Tx) Delete(table string, pred expr.Expr) {
+	if s := t.predShard(table, pred); s >= 0 {
+		t.txs[s].Delete(table, pred)
+		t.dirty[s] = true
+		return
+	}
+	for i := range t.txs {
+		t.txs[i].Delete(table, pred)
+		t.dirty[i] = true
+	}
+}
+
+// Rollback abandons every shard transaction.
+func (t *Tx) Rollback() {
+	for _, tx := range t.txs {
+		tx.Rollback()
+	}
+}
+
+// SubmitTx submits the transaction group: every dirty shard transaction
+// commits through its shard engine's next generation. The first error wins
+// (commits on other shards are not rolled back).
+func (r *Router) SubmitTx(tx core.Tx) *core.Result {
+	if r.single {
+		return r.engines[0].SubmitTx(tx)
+	}
+	t, ok := tx.(*Tx)
+	if !ok || t.r != r {
+		return failedResult(errors.New("shard: SubmitTx requires a transaction from this router's BeginTx"))
+	}
+	if t.err != nil {
+		t.Rollback()
+		return failedResult(t.err)
+	}
+	var subs []*core.Result
+	r.wmu.Lock()
+	for i, dirty := range t.dirty {
+		if dirty {
+			subs = append(subs, r.engines[i].SubmitTx(t.txs[i]))
+		}
+	}
+	r.wmu.Unlock()
+	res := core.NewPendingResult()
+	if len(subs) == 0 {
+		res.Complete(nil)
+		return res
+	}
+	go func() {
+		var firstErr error
+		for _, sub := range subs {
+			if err := sub.Wait(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if sub.SnapshotTS > res.SnapshotTS {
+				res.SnapshotTS = sub.SnapshotTS
+			}
+		}
+		res.Complete(firstErr)
+	}()
+	return res
+}
+
+// Stores is the set of per-shard storage databases plus the deployment's
+// placement, exposing the bulk-load path: ApplyOps routes every op to its
+// owning partition (inserts by partition-key hash, predicate writes to the
+// pinned shard or all shards, replicated tables to every shard) while
+// preserving arrival order per shard. It implements storage.OpApplier so
+// loaders written against a single database (the TPC-W generator) fill a
+// sharded deployment unchanged.
+type Stores struct {
+	DBs    []*storage.Database
+	Policy Placement
+}
+
+var _ storage.OpApplier = Stores{}
+
+// ApplyOps routes and applies a batch of mutations, combining per-op
+// results (partitioned broadcast ops sum their per-shard RowsAffected;
+// replicated ops report one copy's count).
+func (s Stores) ApplyOps(ops []storage.WriteOp) ([]storage.OpResult, uint64) {
+	if len(s.DBs) == 1 {
+		return s.DBs[0].ApplyOps(ops)
+	}
+	part := storage.Partitioning{Shards: len(s.DBs)}
+	type routed struct {
+		opIdx int
+		op    storage.WriteOp
+	}
+	buckets := make([][]routed, len(s.DBs))
+	replicatedOp := make([]bool, len(ops))
+	route := func(i int, op storage.WriteOp, shard int) {
+		buckets[shard] = append(buckets[shard], routed{opIdx: i, op: op})
+	}
+	broadcast := func(i int, op storage.WriteOp) {
+		for sh := range s.DBs {
+			route(i, op, sh)
+		}
+	}
+	// Placement resolution memoized per batch: bulk-load chunks are
+	// typically single-table, so one resolution serves thousands of ops.
+	type tableRoute struct {
+		cols       []int
+		replicated bool
+		ok         bool
+	}
+	routes := map[string]tableRoute{}
+	for i, op := range ops {
+		tr, seen := routes[op.Table]
+		if !seen {
+			tr.cols, tr.replicated, tr.ok = s.Policy.tableRouting(s.DBs[0], op.Table)
+			routes[op.Table] = tr
+		}
+		cols, replicated, ok := tr.cols, tr.replicated, tr.ok
+		switch {
+		case !ok:
+			// Unknown table: let one shard produce the storage error.
+			route(i, op, 0)
+		case replicated || len(cols) == 0:
+			replicatedOp[i] = true
+			broadcast(i, op)
+		case op.Kind == storage.WInsert:
+			route(i, op, shardOfRow(part, cols, op.Row))
+		default:
+			if sh := shardOfPred(part, cols, op.Pred); sh >= 0 {
+				route(i, op, sh)
+			} else {
+				broadcast(i, op)
+			}
+		}
+	}
+	results := make([]storage.OpResult, len(ops))
+	counted := make([]bool, len(ops))
+	var maxTS uint64
+	for sh, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		shardOps := make([]storage.WriteOp, len(bucket))
+		for j, ro := range bucket {
+			shardOps[j] = ro.op
+		}
+		shardResults, ts := s.DBs[sh].ApplyOps(shardOps)
+		if ts > maxTS {
+			maxTS = ts
+		}
+		for j, ro := range bucket {
+			res := shardResults[j]
+			if res.Err != nil && results[ro.opIdx].Err == nil {
+				results[ro.opIdx].Err = res.Err
+			}
+			if replicatedOp[ro.opIdx] {
+				// every copy applies the same mutation; count it once
+				if !counted[ro.opIdx] {
+					results[ro.opIdx].RowsAffected = res.RowsAffected
+					counted[ro.opIdx] = true
+				}
+			} else {
+				results[ro.opIdx].RowsAffected += res.RowsAffected
+			}
+		}
+	}
+	return results, maxTS
+}

@@ -26,6 +26,9 @@ type Options struct {
 	WALDir string
 	// SyncWAL fsyncs the log on every commit batch when true.
 	SyncWAL bool
+	// Shard records which hash partition of a sharded deployment this
+	// database holds (metadata only; zero value = unsharded).
+	Shard ShardInfo
 }
 
 // Database is the storage manager: a catalog of MVCC tables with a global
@@ -46,8 +49,13 @@ type Database struct {
 	pinMu sync.Mutex
 	pins  map[uint64]int // snapshot ts → reference count
 
-	wal *WAL
+	wal   *WAL
+	shard ShardInfo
 }
+
+// Shard reports which hash partition this database holds (zero value when
+// unsharded).
+func (db *Database) Shard() ShardInfo { return db.shard }
 
 // PinCurrentSnapshot atomically reads the latest published snapshot and
 // pins it, shielding the versions visible at it from GC until
@@ -100,7 +108,7 @@ func (db *Database) gcHorizon(keep uint64) (uint64, bool) {
 // checkpoint and log found there are NOT replayed automatically — call
 // Recover after re-creating the schema.
 func Open(opts Options) (*Database, error) {
-	db := &Database{tables: map[string]*Table{}}
+	db := &Database{tables: map[string]*Table{}, shard: opts.Shard}
 	if opts.WALDir != "" {
 		w, err := OpenWAL(opts.WALDir, opts.SyncWAL)
 		if err != nil {

@@ -43,8 +43,10 @@ func (g *Generator) randDate(daysBack int) time.Time {
 	return baseTime.AddDate(0, 0, -g.rng.Intn(daysBack+1))
 }
 
-// Load populates all tables. It uses bulk ApplyOps batches for speed.
-func (g *Generator) Load(db *storage.Database) error {
+// Load populates all tables through the OpApplier interface, so the same
+// loader fills a single database or a sharded deployment (the shard
+// router's Stores routes each insert to its owning partition).
+func (g *Generator) Load(db storage.OpApplier) error {
 	if err := g.loadCountries(db); err != nil {
 		return err
 	}
@@ -66,7 +68,7 @@ func (g *Generator) Load(db *storage.Database) error {
 	return nil
 }
 
-func applyAll(db *storage.Database, ops []storage.WriteOp) error {
+func applyAll(db storage.OpApplier, ops []storage.WriteOp) error {
 	const chunk = 4096
 	for start := 0; start < len(ops); start += chunk {
 		end := min(start+chunk, len(ops))
@@ -85,7 +87,7 @@ var countryNames = []string{
 	"Japan", "Netherlands", "Italy", "Switzerland", "Australia",
 }
 
-func (g *Generator) loadCountries(db *storage.Database) error {
+func (g *Generator) loadCountries(db storage.OpApplier) error {
 	ops := make([]storage.WriteOp, 0, numCountries)
 	for i := 0; i < numCountries; i++ {
 		name := fmt.Sprintf("Country%02d", i)
@@ -102,7 +104,7 @@ func (g *Generator) loadCountries(db *storage.Database) error {
 	return applyAll(db, ops)
 }
 
-func (g *Generator) loadAuthors(db *storage.Database) error {
+func (g *Generator) loadAuthors(db storage.OpApplier) error {
 	n := g.scale.Authors()
 	ops := make([]storage.WriteOp, 0, n)
 	for i := 0; i < n; i++ {
@@ -118,7 +120,7 @@ func (g *Generator) loadAuthors(db *storage.Database) error {
 	return applyAll(db, ops)
 }
 
-func (g *Generator) loadItems(db *storage.Database) error {
+func (g *Generator) loadItems(db storage.OpApplier) error {
 	n := g.scale.Items
 	authors := g.scale.Authors()
 	ops := make([]storage.WriteOp, 0, n)
@@ -148,7 +150,7 @@ func (g *Generator) loadItems(db *storage.Database) error {
 	return applyAll(db, ops)
 }
 
-func (g *Generator) loadAddresses(db *storage.Database) error {
+func (g *Generator) loadAddresses(db storage.OpApplier) error {
 	n := g.scale.Addresses()
 	ops := make([]storage.WriteOp, 0, n)
 	for i := 0; i < n; i++ {
@@ -166,7 +168,7 @@ func (g *Generator) loadAddresses(db *storage.Database) error {
 	return applyAll(db, ops)
 }
 
-func (g *Generator) loadCustomers(db *storage.Database) error {
+func (g *Generator) loadCustomers(db storage.OpApplier) error {
 	n := g.scale.Customers
 	ops := make([]storage.WriteOp, 0, n)
 	for i := 0; i < n; i++ {
@@ -196,7 +198,7 @@ func (g *Generator) loadCustomers(db *storage.Database) error {
 	return applyAll(db, ops)
 }
 
-func (g *Generator) loadOrders(db *storage.Database) error {
+func (g *Generator) loadOrders(db storage.OpApplier) error {
 	n := g.scale.Orders()
 	ops := make([]storage.WriteOp, 0, n*5)
 	olID := int64(0)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"shareddb/internal/harness"
+	"shareddb/internal/shard"
 	"shareddb/internal/storage"
 )
 
@@ -196,6 +197,24 @@ func Setup(db *storage.Database, scale Scale, seed int64) (*Generator, error) {
 	}
 	g := NewGenerator(scale, seed)
 	if err := g.Load(db); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SetupSharded creates the TPC-W schema on every shard database and loads
+// the scaled population through the sharded placement: partitioned tables
+// split by partition-key hash, the catalog dimensions replicated to every
+// shard. The same generator seed produces the same logical database as an
+// unsharded Setup.
+func SetupSharded(dbs []*storage.Database, scale Scale, seed int64) (*Generator, error) {
+	for _, db := range dbs {
+		if err := CreateSchema(db); err != nil {
+			return nil, err
+		}
+	}
+	g := NewGenerator(scale, seed)
+	if err := g.Load(shard.Stores{DBs: dbs, Policy: ShardedPlacement()}); err != nil {
 		return nil, err
 	}
 	return g, nil

@@ -6,6 +6,7 @@ import (
 	"shareddb/internal/baseline"
 	"shareddb/internal/core"
 	"shareddb/internal/plan"
+	"shareddb/internal/shard"
 	"shareddb/internal/storage"
 	"shareddb/internal/types"
 )
@@ -30,23 +31,54 @@ type TxSink interface {
 
 // --- SharedDB adapter ---
 
-// SharedSystem runs the workload on the SharedDB engine.
+// SharedSystem runs the workload on a SharedDB execution backend: the
+// single engine, or the sharded scatter-gather router — both behind
+// core.Executor, so the interaction code cannot tell them apart.
 type SharedSystem struct {
-	engine *core.Engine
+	engine core.Executor
 	stmts  []*plan.Statement
-	db     *storage.Database
 }
 
 // NewSharedSystem builds the always-on global plan for all TPC-W statements
 // (the paper's Figure 6 plan) over db.
 func NewSharedSystem(db *storage.Database, cfg core.Config) (*SharedSystem, error) {
 	gp := plan.New(db)
-	eng := core.New(db, gp, cfg)
-	sys := &SharedSystem{engine: eng, db: db}
+	return newSharedSystem(core.New(db, gp, cfg))
+}
+
+// ShardedPlacement is the TPC-W table placement for a sharded deployment:
+// the write-heavy per-customer state (orders, order lines, carts, credit
+// card transactions) hash-partitions — order lines and cart lines
+// co-partition with their parent id so their point lookups stay
+// shard-local — while the catalog and customer dimensions replicate so
+// every shard can run the paper's join plans locally.
+func ShardedPlacement() shard.Placement {
+	return shard.Placement{
+		Replicated: []string{"country", "author", "item", "customer", "address"},
+		PartitionKeys: map[string][]string{
+			"order_line":         {"ol_o_id"},
+			"shopping_cart_line": {"scl_sc_id"},
+		},
+	}
+}
+
+// NewShardedSystem builds the sharded backend: one shard engine per
+// database behind the scatter-gather router, with every TPC-W statement
+// classified and prepared on all shards.
+func NewShardedSystem(dbs []*storage.Database, cfg core.Config) (*SharedSystem, error) {
+	router, err := shard.New(dbs, cfg, ShardedPlacement())
+	if err != nil {
+		return nil, err
+	}
+	return newSharedSystem(router)
+}
+
+func newSharedSystem(exec core.Executor) (*SharedSystem, error) {
+	sys := &SharedSystem{engine: exec}
 	for id, sqlText := range StatementSQL() {
-		st, err := eng.Prepare(sqlText)
+		st, err := exec.Prepare(sqlText)
 		if err != nil {
-			eng.Close()
+			exec.Close()
 			return nil, fmt.Errorf("tpcw: statement %d: %w", id, err)
 		}
 		sys.stmts = append(sys.stmts, st)
@@ -57,8 +89,8 @@ func NewSharedSystem(db *storage.Database, cfg core.Config) (*SharedSystem, erro
 // Name identifies the system in reports.
 func (s *SharedSystem) Name() string { return "SharedDB" }
 
-// Engine exposes the underlying engine (stats).
-func (s *SharedSystem) Engine() *core.Engine { return s.engine }
+// Engine exposes the underlying execution backend (stats).
+func (s *SharedSystem) Engine() core.Executor { return s.engine }
 
 // Query runs a read statement.
 func (s *SharedSystem) Query(id StmtID, params ...types.Value) ([]types.Row, error) {
@@ -80,7 +112,7 @@ func (s *SharedSystem) Exec(id StmtID, params ...types.Value) (int, error) {
 
 type sharedTx struct {
 	sys *SharedSystem
-	tx  *storage.Tx
+	tx  core.Tx
 }
 
 func (t *sharedTx) Exec(id StmtID, params ...types.Value) error {
@@ -106,7 +138,7 @@ func (t *sharedTx) Exec(id StmtID, params ...types.Value) error {
 // ExecTx runs fn's buffered writes as one snapshot-isolated transaction
 // committed in the next generation's update batch.
 func (s *SharedSystem) ExecTx(fn func(tx TxSink) error) error {
-	tx := s.db.Begin()
+	tx := s.engine.BeginTx()
 	if err := fn(&sharedTx{sys: s, tx: tx}); err != nil {
 		tx.Rollback()
 		return err

@@ -7,6 +7,7 @@ import (
 	"shareddb/internal/baseline"
 	"shareddb/internal/core"
 	"shareddb/internal/storage"
+	"shareddb/internal/testutil"
 	"shareddb/internal/types"
 )
 
@@ -305,5 +306,147 @@ func TestInteractionMetadata(t *testing.T) {
 	}
 	if AdminConfirm.Timeout() != 20*time.Second {
 		t.Error("AdminConfirm timeout should be the long one")
+	}
+}
+
+// setupShardedDBs loads the fixture across n shard databases through the
+// sharded placement.
+func setupShardedDBs(t testing.TB, n int, scale Scale) ([]*storage.Database, *Generator) {
+	t.Helper()
+	dbs := make([]*storage.Database, n)
+	for i := range dbs {
+		db, err := storage.Open(storage.Options{Shard: storage.ShardInfo{Index: i, Count: n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbs[i] = db
+	}
+	g, err := SetupSharded(dbs, scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dbs, g
+}
+
+// TestShardedEveryInteraction runs all 14 web interactions (plus the order
+// pipeline twice) on a 3-shard deployment: every TPC-W statement must
+// classify for sharding and execute correctly through the router.
+func TestShardedEveryInteraction(t *testing.T) {
+	dbs, g := setupShardedDBs(t, 3, smallScale())
+	defer func() {
+		for _, db := range dbs {
+			db.Close()
+		}
+	}()
+	sys, err := NewShardedSystem(dbs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ids := NewIDAllocator(g)
+	sess := NewSession(sys, smallScale(), ids, 7)
+	for i := Interaction(0); i < NumInteractions; i++ {
+		if err := sess.Run(i); err != nil {
+			t.Errorf("%s failed: %v", i, err)
+		}
+	}
+	for round := 0; round < 2; round++ {
+		for _, i := range []Interaction{ShoppingCart, BuyRequest, BuyConfirm, OrderDisplay} {
+			if err := sess.Run(i); err != nil {
+				t.Errorf("round %d %s failed: %v", round, i, err)
+			}
+		}
+	}
+}
+
+// TestShardedVsSingleResults compares read-statement results between the
+// sharded deployment and the single engine over the same logical data.
+func TestShardedVsSingleResults(t *testing.T) {
+	db, _ := setupDB(t, smallScale())
+	defer db.Close()
+	single, err := NewSharedSystem(db, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	dbs, _ := setupShardedDBs(t, 3, smallScale())
+	defer func() {
+		for _, sdb := range dbs {
+			sdb.Close()
+		}
+	}()
+	sharded, err := NewShardedSystem(dbs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	checks := []struct {
+		id     StmtID
+		params []types.Value
+	}{
+		{StGetName, []types.Value{iv(5)}},
+		{StGetBook, []types.Value{iv(17)}},
+		{StGetCustomer, []types.Value{sv("user000003")}},
+		{StDoSubjectSearch, []types.Value{sv("ARTS")}},
+		{StGetNewProducts, []types.Value{sv("HISTORY")}},
+		{StGetBestSellers, []types.Value{iv(0), sv("COOKING")}},
+		{StGetRelated, []types.Value{iv(9)}},
+		{StGetMaxOrderID, nil},
+		{StGetMostRecentOrderLines, []types.Value{iv(3)}},
+		{StGetCart, []types.Value{iv(1)}},
+		{StGetLatestOrderID, []types.Value{iv(4)}},
+	}
+	for _, c := range checks {
+		a, err := sharded.Query(c.id, c.params...)
+		if err != nil {
+			t.Fatalf("sharded stmt %d: %v", c.id, err)
+		}
+		b, err := single.Query(c.id, c.params...)
+		if err != nil {
+			t.Fatalf("single stmt %d: %v", c.id, err)
+		}
+		ca, cb := testutil.CanonRows(a), testutil.CanonRows(b)
+		if len(ca) != len(cb) {
+			t.Errorf("stmt %d: sharded %d rows, single %d rows", c.id, len(a), len(b))
+			continue
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Errorf("stmt %d row %d: sharded %q, single %q", c.id, i, ca[i], cb[i])
+				break
+			}
+		}
+	}
+}
+
+// TestShardedDriverShortRun drives the full Shopping mix against a 2-shard
+// deployment.
+func TestShardedDriverShortRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver run")
+	}
+	dbs, g := setupShardedDBs(t, 2, smallScale())
+	defer func() {
+		for _, db := range dbs {
+			db.Close()
+		}
+	}()
+	sys, err := NewShardedSystem(dbs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ids := NewIDAllocator(g)
+	m := RunDriver(sys, smallScale(), ids, DriverConfig{
+		EBs: 8, Duration: 300 * time.Millisecond,
+		ThinkTime: time.Millisecond, Mix: Shopping, Only: -1, Seed: 1,
+	})
+	if m.Total == 0 {
+		t.Error("no interactions completed on the sharded system")
+	}
+	if m.Errors > 0 {
+		t.Errorf("%d of %d interactions failed", m.Errors, m.Total)
 	}
 }

@@ -101,3 +101,18 @@ func DecodeRow(b []byte) (Row, int, error) {
 	}
 	return row, off, nil
 }
+
+// KeyHash returns a 64-bit hash of a composite key, chaining the
+// coercion-consistent per-value hashes (Value.Hash) through an FNV-style
+// mix. It is the hash the shard router partitions primary keys on: equal
+// keys — including INT/FLOAT pairs that compare equal under coercion —
+// hash identically, so a row inserted with pk=1 and a lookup with pk=1.0
+// land on the same shard.
+func KeyHash(vals ...Value) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		h ^= v.Hash()
+		h *= fnvPrime64
+	}
+	return h
+}

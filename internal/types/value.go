@@ -164,6 +164,15 @@ func (v Value) String() string {
 	}
 }
 
+// FNV-1a parameters shared by Value.Hash and the codec's composite
+// KeyHash — the two mixes must stay compatible: shard routing hashes
+// stored rows through KeyHash and relies on Value.Hash's coercion
+// consistency.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // numericKind reports whether k participates in numeric coercion.
 func numericKind(k Kind) bool {
 	return k == KindInt || k == KindFloat || k == KindBool || k == KindTime
@@ -235,14 +244,10 @@ func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
 // either side could be FLOAT; the engine only mixes kinds via coercion in
 // comparisons, hash tables are built per-column so kinds are homogeneous).
 func (v Value) Hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := uint64(fnvOffset64)
 	mix := func(b byte) {
 		h ^= uint64(b)
-		h *= prime64
+		h *= fnvPrime64
 	}
 	switch v.K {
 	case KindNull:

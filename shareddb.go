@@ -43,10 +43,12 @@ package shareddb
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"shareddb/internal/core"
 	"shareddb/internal/plan"
+	"shareddb/internal/shard"
 	"shareddb/internal/sql"
 	"shareddb/internal/storage"
 	"shareddb/internal/types"
@@ -63,61 +65,147 @@ type Config struct {
 	// MaxInFlightGenerations bounds how many generations execute
 	// concurrently in the always-on plan (the generation pipeline). 0
 	// selects the engine default (4); 1 restores strictly serial
-	// generations; negative values clamp to 1. Updates always apply in
-	// generation order; only read phases overlap, each at its own
-	// snapshot.
+	// generations; negative values are rejected by Open. Updates always
+	// apply in generation order; only read phases overlap, each at its
+	// own snapshot.
 	MaxInFlightGenerations int
 	// Workers is the intra-operator parallelism budget: each generation's
 	// shared table scans run as partition-parallel ClockScans and the
 	// blocking shared operators (sort, group-by, join build) run
 	// data-parallel Finish phases on up to this many workers. 0 selects
-	// GOMAXPROCS (one worker per core); 1 or negative runs strictly
-	// serial. Per-query results are identical at any setting.
+	// GOMAXPROCS (one worker per core); 1 runs strictly serial; negative
+	// values are rejected by Open. Per-query results are identical at any
+	// setting.
 	Workers int
-	// WALDir enables durability (write-ahead log + checkpoints).
+	// Shards splits the database into that many shard engines, each
+	// owning a hash partition (on primary key) of every table with its
+	// own always-on global plan and generation loop. A scatter-gather
+	// router speaks the same API: point writes and primary-key reads go
+	// to the owning shard, everything else fans out and merges
+	// deterministically (ORDER BY via k-way merge, GROUP BY via
+	// partial-aggregate recombination). 0 or 1 runs the classic single
+	// engine — byte-identical to pre-sharding behavior. Negative values
+	// are rejected by Open.
+	Shards int
+	// ReplicatedTables lists tables fully copied to every shard instead of
+	// partitioned (dimension tables every shard joins against). Tables
+	// without a primary key always replicate. Ignored when Shards <= 1.
+	ReplicatedTables []string
+	// PartitionKeys overrides the partition key of a table (default: its
+	// primary key) — e.g. co-partitioning a detail table with its parent
+	// on the parent's id so their join stays shard-local. Ignored when
+	// Shards <= 1.
+	PartitionKeys map[string][]string
+	// WALDir enables durability (write-ahead log + checkpoints). Sharded
+	// deployments log each shard under WALDir/shard-<i>.
 	WALDir string
 	// SyncWAL fsyncs the log on every commit batch.
 	SyncWAL bool
 }
 
+// Validate rejects configurations that previously defaulted silently.
+// Negative Workers, MaxInFlightGenerations and Shards are errors (zero
+// keeps selecting each knob's documented default).
+func (c Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("shareddb: Shards must be >= 0, got %d (0 or 1 = single engine)", c.Shards)
+	}
+	return c.coreConfig().Validate()
+}
+
+func (c Config) coreConfig() core.Config {
+	return core.Config{
+		Heartbeat:              c.Heartbeat,
+		MaxBatch:               c.MaxBatch,
+		MaxInFlightGenerations: c.MaxInFlightGenerations,
+		Workers:                c.Workers,
+	}
+}
+
 // DB is a SharedDB database handle. It is safe for concurrent use.
 type DB struct {
-	store  *storage.Database
-	plan   *plan.GlobalPlan
-	engine *core.Engine
+	stores []*storage.Database
+	plan   *plan.GlobalPlan // single-engine deployments only
+	router *shard.Router    // sharded deployments only
+	exec   core.Executor
 }
 
-// Open creates a new database.
+// Open creates a new database. With Config.Shards <= 1 this is the classic
+// single engine; otherwise the tables are hash-partitioned across
+// Config.Shards shard engines behind a scatter-gather router.
 func Open(cfg Config) (*DB, error) {
-	store, err := storage.Open(storage.Options{WALDir: cfg.WALDir, SyncWAL: cfg.SyncWAL})
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	gp := plan.New(store)
-	eng := core.New(store, gp, core.Config{
-		Heartbeat:              cfg.Heartbeat,
-		MaxBatch:               cfg.MaxBatch,
-		MaxInFlightGenerations: cfg.MaxInFlightGenerations,
-		Workers:                cfg.Workers,
-	})
-	return &DB{store: store, plan: gp, engine: eng}, nil
+	if cfg.Shards <= 1 {
+		store, err := storage.Open(storage.Options{WALDir: cfg.WALDir, SyncWAL: cfg.SyncWAL})
+		if err != nil {
+			return nil, err
+		}
+		gp := plan.New(store)
+		eng := core.New(store, gp, cfg.coreConfig())
+		return &DB{stores: []*storage.Database{store}, plan: gp, exec: eng}, nil
+	}
+	stores := make([]*storage.Database, cfg.Shards)
+	for i := range stores {
+		opts := storage.Options{SyncWAL: cfg.SyncWAL,
+			Shard: storage.ShardInfo{Index: i, Count: cfg.Shards}}
+		if cfg.WALDir != "" {
+			opts.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", i))
+		}
+		store, err := storage.Open(opts)
+		if err != nil {
+			for _, s := range stores[:i] {
+				s.Close()
+			}
+			return nil, err
+		}
+		stores[i] = store
+	}
+	router, err := shard.New(stores, cfg.coreConfig(),
+		shard.Placement{Replicated: cfg.ReplicatedTables, PartitionKeys: cfg.PartitionKeys})
+	if err != nil {
+		for _, s := range stores {
+			s.Close()
+		}
+		return nil, err
+	}
+	return &DB{stores: stores, router: router, exec: router}, nil
 }
 
-// Close stops the engine and releases storage resources.
+// Close stops the engine(s) and releases storage resources.
 func (db *DB) Close() error {
-	db.engine.Close()
-	return db.store.Close()
+	db.exec.Close()
+	var firstErr error
+	for _, s := range db.stores {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Storage exposes the underlying storage manager (checkpointing, recovery,
-// direct table access for bulk loading).
-func (db *DB) Storage() *storage.Database { return db.store }
+// direct table access for bulk loading). Sharded deployments return the
+// first shard; use Storages for all partitions.
+func (db *DB) Storage() *storage.Database { return db.stores[0] }
 
-// Engine exposes the execution engine (statistics, transaction submission).
-func (db *DB) Engine() *core.Engine { return db.engine }
+// Storages returns every shard's storage manager (one entry when
+// unsharded).
+func (db *DB) Storages() []*storage.Database { return db.stores }
 
-// DescribePlan renders the current global operator plan.
-func (db *DB) DescribePlan() string { return db.plan.Describe() }
+// Engine exposes the execution backend (statistics, transaction
+// submission): the single engine, or the shard router.
+func (db *DB) Engine() core.Executor { return db.exec }
+
+// DescribePlan renders the current global operator plan (shard 0's plan on
+// sharded deployments — all shards compile the same statements).
+func (db *DB) DescribePlan() string {
+	if db.router != nil {
+		return db.router.Describe()
+	}
+	return db.plan.Describe()
+}
 
 // Result reports the outcome of a write.
 type Result struct {
@@ -145,30 +233,43 @@ func (db *DB) Exec(sqlText string, args ...interface{}) (Result, error) {
 	return stmt.Exec(args...)
 }
 
+// createTable applies DDL to every shard (tables exist on all partitions;
+// rows are distributed by primary-key hash).
 func (db *DB) createTable(s *sql.CreateTableStmt) error {
 	cols := make([]types.Column, len(s.Columns))
 	for i, c := range s.Columns {
 		cols[i] = types.Column{Qualifier: s.Table, Name: c.Name, Kind: c.Kind}
 	}
-	t, err := db.store.CreateTable(s.Table, types.NewSchema(cols...))
-	if err != nil {
-		return err
-	}
-	if len(s.Primary) > 0 {
-		if _, err := t.SetPrimaryKey(s.Primary...); err != nil {
+	for _, store := range db.stores {
+		t, err := store.CreateTable(s.Table, types.NewSchema(cols...))
+		if err != nil {
 			return err
 		}
+		if len(s.Primary) > 0 {
+			if _, err := t.SetPrimaryKey(s.Primary...); err != nil {
+				return err
+			}
+		}
+	}
+	if db.router != nil {
+		// Surface typo'd Config.PartitionKeys overrides now, not as a
+		// silent primary-key fallback at routing time.
+		return db.router.ValidateTable(s.Table)
 	}
 	return nil
 }
 
 func (db *DB) createIndex(s *sql.CreateIndexStmt) error {
-	t := db.store.Table(s.Table)
-	if t == nil {
-		return fmt.Errorf("shareddb: unknown table %q", s.Table)
+	for _, store := range db.stores {
+		t := store.Table(s.Table)
+		if t == nil {
+			return fmt.Errorf("shareddb: unknown table %q", s.Table)
+		}
+		if _, err := t.AddIndex(s.Name, s.Unique, s.Columns...); err != nil {
+			return err
+		}
 	}
-	_, err := t.AddIndex(s.Name, s.Unique, s.Columns...)
-	return err
+	return nil
 }
 
 // Stmt is a prepared statement registered in the global plan. Statements
@@ -183,7 +284,7 @@ type Stmt struct {
 // paper's TPC-W setup, statements are typically prepared once at startup;
 // preparing at runtime is the ad-hoc query path.
 func (db *DB) Prepare(sqlText string) (*Stmt, error) {
-	ps, err := db.engine.Prepare(sqlText)
+	ps, err := db.exec.Prepare(sqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +303,7 @@ func (s *Stmt) Query(args ...interface{}) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := s.db.engine.Submit(s.stmt, params)
+	res := s.db.exec.Submit(s.stmt, params)
 	if err := res.Wait(); err != nil {
 		return nil, err
 	}
@@ -215,7 +316,7 @@ func (s *Stmt) Exec(args ...interface{}) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := s.db.engine.Submit(s.stmt, params)
+	res := s.db.exec.Submit(s.stmt, params)
 	if err := res.Wait(); err != nil {
 		return Result{}, err
 	}
@@ -305,16 +406,18 @@ func (r *Rows) Scan(dest ...interface{}) error {
 // Tx is a snapshot-isolated write transaction. Reads issued while the
 // transaction is open run as ordinary statements at the latest snapshot
 // (read committed — the isolation TPC-W requires, §5.2); buffered writes
-// apply atomically at Commit in the next generation's update batch.
+// apply atomically at Commit in the next generation's update batch. On a
+// sharded deployment each write routes to the owning shard; commit
+// validation runs per shard (cross-shard commits are not atomic).
 type Tx struct {
 	db   *DB
-	tx   *storage.Tx
+	tx   core.Tx
 	done bool
 }
 
 // Begin opens a transaction.
 func (db *DB) Begin() *Tx {
-	return &Tx{db: db, tx: db.store.Begin()}
+	return &Tx{db: db, tx: db.exec.BeginTx()}
 }
 
 // Exec buffers a write statement in the transaction.
@@ -326,7 +429,7 @@ func (tx *Tx) Exec(sqlText string, args ...interface{}) error {
 	if err != nil {
 		return err
 	}
-	bound, err := sql.PlanStatement(ast, planCatalog{tx.db.store})
+	bound, err := sql.PlanStatement(ast, planCatalog{tx.db.stores[0]})
 	if err != nil {
 		return err
 	}
@@ -360,7 +463,7 @@ func (tx *Tx) Commit() error {
 		return storage.ErrTxDone
 	}
 	tx.done = true
-	return tx.db.engine.SubmitTx(tx.tx).Wait()
+	return tx.db.exec.SubmitTx(tx.tx).Wait()
 }
 
 // Rollback abandons the transaction.

@@ -358,3 +358,176 @@ func TestWorkersConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestConfigValidation: negative knobs are rejected with clear errors
+// instead of silently defaulting.
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Workers: -1},
+		{MaxInFlightGenerations: -2},
+		{Shards: -1},
+		{MaxBatch: -5},
+	}
+	for _, cfg := range cases {
+		if db, err := Open(cfg); err == nil {
+			db.Close()
+			t.Errorf("Open(%+v) succeeded, want validation error", cfg)
+		}
+	}
+	// Zero still selects defaults.
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatalf("Open(zero config): %v", err)
+	}
+	db.Close()
+}
+
+// TestShardedDB drives the public API against a 3-shard deployment: DDL
+// broadcasts, writes route by primary-key hash, reads merge across shards
+// (including DISTINCT-aggregate HAVING), and transactions commit through
+// the shard engines.
+func TestShardedDB(t *testing.T) {
+	db, err := Open(Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if len(db.Storages()) != 3 {
+		t.Fatalf("Storages() = %d, want 3", len(db.Storages()))
+	}
+	mustExec := func(sqlText string, args ...interface{}) Result {
+		res, err := db.Exec(sqlText, args...)
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", sqlText, err)
+		}
+		return res
+	}
+	mustExec(`CREATE TABLE events (id INT, kind VARCHAR(10), actor INT, score FLOAT, PRIMARY KEY (id))`)
+	for i := 0; i < 90; i++ {
+		mustExec(`INSERT INTO events VALUES (?, ?, ?, ?)`,
+			i, []string{"view", "click", "buy"}[i%3], i%11, float64(i)/3)
+	}
+	// rows actually spread across shards
+	spread := 0
+	for _, s := range db.Storages() {
+		if s.Table("events").CountVisible(s.SnapshotTS()) > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("rows on %d shards, want spread", spread)
+	}
+	// point read
+	rows, err := db.Query(`SELECT kind FROM events WHERE id = ?`, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("point read: %d rows", rows.Len())
+	}
+	// grouped merge with DISTINCT aggregate + HAVING + ORDER BY
+	rows, err = db.Query(`SELECT kind, COUNT(*), COUNT(DISTINCT actor), AVG(score) FROM events
+		GROUP BY kind HAVING COUNT(DISTINCT actor) > ? ORDER BY kind`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("grouped merge: %d rows, want 3", rows.Len())
+	}
+	prev := ""
+	for rows.Next() {
+		var kind string
+		var cnt, actors int
+		var avg float64
+		if err := rows.Scan(&kind, &cnt, &actors, &avg); err != nil {
+			t.Fatal(err)
+		}
+		if kind <= prev {
+			t.Fatalf("ORDER BY kind violated: %q after %q", kind, prev)
+		}
+		prev = kind
+		if cnt != 30 || actors != 11 {
+			t.Fatalf("kind %s: count=%d actors=%d, want 30/11", kind, cnt, actors)
+		}
+	}
+	// broadcast write
+	res := mustExec(`UPDATE events SET score = ? WHERE kind = ?`, 0.0, "buy")
+	if res.RowsAffected != 30 {
+		t.Fatalf("broadcast update affected %d, want 30", res.RowsAffected)
+	}
+	// transaction through the router: a point insert and a point update of
+	// an existing row, each routed to its owning shard
+	tx := db.Begin()
+	if err := tx.Exec(`INSERT INTO events VALUES (?, ?, ?, ?)`, 1000, "tx", 99, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Exec(`UPDATE events SET score = ? WHERE id = ?`, 9.0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[int]float64{1000: 1.0, 7: 9.0} {
+		rows, err = db.Query(`SELECT score FROM events WHERE id = ?`, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != 1 || !rows.Next() {
+			t.Fatalf("tx row %d missing", id)
+		}
+		var score float64
+		rows.Scan(&score)
+		if score != want {
+			t.Fatalf("tx effect lost on id %d: score = %v, want %v", id, score, want)
+		}
+	}
+}
+
+// TestShardedStatsAndDescribe: stats aggregate across shards and the plan
+// description renders.
+func TestShardedStatsAndDescribe(t *testing.T) {
+	db, err := Open(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, PRIMARY KEY (a))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT a FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	_, queries, writes := db.Engine().Stats()
+	if writes == 0 || queries == 0 {
+		t.Fatalf("stats empty: queries=%d writes=%d", queries, writes)
+	}
+	if db.DescribePlan() == "" {
+		t.Fatal("DescribePlan empty")
+	}
+}
+
+// TestPartitionKeyTypoSurfacesAtDDL: a misspelled Config.PartitionKeys
+// column errors when the table is created, instead of silently falling
+// back to partitioning on the primary key.
+func TestPartitionKeyTypoSurfacesAtDDL(t *testing.T) {
+	db, err := Open(Config{Shards: 2, PartitionKeys: map[string][]string{"t": {"no_such_col"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))`); err == nil {
+		t.Fatal("CREATE TABLE with a typo'd partition key succeeded, want error")
+	}
+	// a valid override is accepted
+	db2, err := Open(Config{Shards: 2, PartitionKeys: map[string][]string{"t": {"b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec(`CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))`); err != nil {
+		t.Fatalf("valid partition-key override rejected: %v", err)
+	}
+}
