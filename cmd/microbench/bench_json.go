@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"shareddb/internal/core"
 	"shareddb/internal/experiments"
@@ -35,6 +36,13 @@ type benchRecord struct {
 	BytesPerOp  int64   `json:"b_per_op"`       // heap bytes allocated per iteration
 	AllocsPerOp int64   `json:"allocs_per_op"`  // heap allocations per iteration
 	QueriesPerX int     `json:"queries_per_op"` // queries executed per iteration (batch size; 1 for mix)
+
+	// Overload-scenario extras (absent on the throughput benches): the
+	// admitted-latency percentiles and the fraction of offered queries the
+	// admission controller rejected with ErrOverloaded.
+	P50Ns    float64 `json:"p50_ns,omitempty"`
+	P99Ns    float64 `json:"p99_ns,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // benchReport is the file layout of BENCH_*.json.
@@ -180,9 +188,56 @@ func runJSONBench(opts experiments.Options) error {
 		report.Results = append(report.Results, record(name, desc, "interaction", 1, r))
 	}
 
+	// Overload scenario: a saturating burst against a queue-capped,
+	// SLO-bounded engine. The perf-trajectory quantities are the admitted
+	// p50/p99 and the shed rate — whether backpressure keeps latency
+	// bounded, not raw throughput (benchdiff excludes it from the ns gate).
+	ovRec, err := benchOverload(opts)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, ovRec)
+
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")
 	return out.Encode(report)
+}
+
+// Overload scenario shape: enough concurrent clients to overflow the queue
+// cap many times over, so the run exercises both admission outcomes (shed
+// and admitted) at a measurable rate.
+const (
+	overloadQueries  = 2000
+	overloadClients  = 256
+	overloadQueueCap = 64
+	overloadSLO      = 5 * time.Millisecond
+)
+
+// benchOverload runs the experiments.Overload scenario on a single-engine
+// deployment and folds its percentiles and shed rate into a bench record.
+func benchOverload(opts experiments.Options) (benchRecord, error) {
+	ovOpts := opts
+	ovOpts.Shards = 1 // admission is per engine; one engine keeps the scenario comparable
+	ovOpts.MaxGenerationDelay = overloadSLO
+	ovOpts.QueueDepthLimit = overloadQueueCap
+	res, err := experiments.Overload(ovOpts, overloadQueries, overloadClients)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	ns := float64(res.Mean)
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return benchRecord{
+		Name: "overload",
+		Description: fmt.Sprintf(
+			"admission control under a %d-client saturating burst (SLO %v, queue cap %d): admitted-latency percentiles + shed rate",
+			overloadClients, overloadSLO, overloadQueueCap),
+		Ops: int(res.Admitted), Unit: "admitted query",
+		NsPerOp: ns, OpsPerSec: ops, QueriesPerX: 1,
+		P50Ns: float64(res.P50), P99Ns: float64(res.P99), ShedRate: res.ShedRate(),
+	}, nil
 }
 
 // benchMix measures the concurrent TPC-W Shopping mix on a fresh

@@ -1,6 +1,10 @@
 // Command shareddb-server exposes a SharedDB instance over TCP with a
 // simple line protocol (one SQL statement per line, results as
 // tab-separated rows terminated by "OK <n rows>" or "ERR <message>").
+// With admission control enabled (-max-delay / -queue-limit / -stmt-quota)
+// an overloaded server answers "BUSY <retry-after-ms> <reason>" instead of
+// queueing the statement — clients should back off for the hinted
+// milliseconds and resubmit.
 //
 //	shareddb-server -listen :5843 [-wal dir]
 //
@@ -16,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,9 +38,13 @@ func main() {
 	shards := flag.Int("shards", 0, "shard engines with hash-partitioned tables (0 or 1 = single engine)")
 	replicate := flag.String("replicate", "", "comma-separated tables to replicate to every shard instead of partitioning")
 	partition := flag.String("partition", "", "partition-key overrides as table=col[+col...],... (default: primary key)")
+	maxDelay := flag.Duration("max-delay", 0, "per-generation latency SLO; enables SLO batch sizing and the slow-query breaker (0 = off, minimum 1ms)")
+	queueLimit := flag.Int("queue-limit", 0, "max submissions queued per engine before BUSY rejections (0 = unlimited)")
+	stmtQuota := flag.Int("stmt-quota", 0, "max activations of one statement per generation; excess shed to later generations (0 = unlimited)")
 	flag.Parse()
 
-	cfg := shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers, Shards: *shards}
+	cfg := shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers, Shards: *shards,
+		MaxGenerationDelay: *maxDelay, QueueDepthLimit: *queueLimit, StatementQuota: *stmtQuota}
 	if *replicate != "" {
 		cfg.ReplicatedTables = strings.Split(*replicate, ",")
 	}
@@ -97,12 +106,28 @@ func serve(db *shareddb.DB, conn net.Conn) {
 	}
 }
 
+// fail writes the error response: "BUSY <retry-ms> <reason>" for admission
+// rejections (backpressure — the client should wait and resubmit), "ERR
+// <message>" for everything else.
+func fail(w *bufio.Writer, err error) {
+	var oe *shareddb.OverloadError
+	if errors.As(err, &oe) {
+		retry := oe.RetryAfter.Milliseconds()
+		if retry < 1 {
+			retry = 1
+		}
+		fmt.Fprintf(w, "BUSY %d %s\n", retry, oe.Reason)
+		return
+	}
+	fmt.Fprintf(w, "ERR %v\n", err)
+}
+
 func execute(db *shareddb.DB, w *bufio.Writer, sqlText string) {
 	upper := strings.ToUpper(sqlText)
 	if strings.HasPrefix(upper, "SELECT") {
 		rows, err := db.Query(sqlText)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			fail(w, err)
 			return
 		}
 		fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
@@ -119,7 +144,7 @@ func execute(db *shareddb.DB, w *bufio.Writer, sqlText string) {
 	}
 	res, err := db.Exec(sqlText)
 	if err != nil {
-		fmt.Fprintf(w, "ERR %v\n", err)
+		fail(w, err)
 		return
 	}
 	fmt.Fprintf(w, "OK %d rows\n", res.RowsAffected)

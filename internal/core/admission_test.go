@@ -1,0 +1,479 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"shareddb/internal/baseline"
+	"shareddb/internal/plan"
+	"shareddb/internal/sql"
+	"shareddb/internal/types"
+)
+
+// --- controller unit tests (engine mutex not required: single goroutine) ---
+
+func TestAdmissionDisabledIsNil(t *testing.T) {
+	if a := newAdmission(Config{}); a != nil {
+		t.Fatalf("zero-value admission config must disable the controller, got %+v", a)
+	}
+	// Negative values are clamped to disabled (Validate rejects them on the
+	// public path; New must not blow up on raw internal use).
+	if a := newAdmission(Config{MaxGenerationDelay: -1, QueueDepthLimit: -2, StatementQuota: -3}); a != nil {
+		t.Fatalf("negative limits must clamp to disabled, got %+v", a)
+	}
+	if a := newAdmission(Config{QueueDepthLimit: 5}); a == nil {
+		t.Fatal("a single non-zero limit must enable the controller")
+	}
+}
+
+func TestOverloadErrorIsAndAs(t *testing.T) {
+	err := error(&OverloadError{Reason: "queue full", RetryAfter: 3 * time.Millisecond})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("OverloadError must match errors.Is(err, ErrOverloaded)")
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter != 3*time.Millisecond {
+		t.Fatalf("errors.As must recover the retry hint, got %+v", oe)
+	}
+}
+
+func TestAdmitQueueDepthBoundary(t *testing.T) {
+	a := newAdmission(Config{QueueDepthLimit: 4})
+	// depth below the limit admits, at the limit rejects: the limit is the
+	// max depth the queue ever reaches.
+	if err := a.admit(nil, 3); err != nil {
+		t.Fatalf("depth 3 of limit 4 must admit: %v", err)
+	}
+	err := a.admit(nil, 4)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("depth 4 of limit 4 must reject with ErrOverloaded, got %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("queue rejection needs a positive retry hint, got %+v", oe)
+	}
+	if a.rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", a.rejected)
+	}
+}
+
+// mkReqs builds synthetic requests: one per statement in stmts, in order.
+func mkReqs(stmts ...*plan.Statement) []*Request {
+	out := make([]*Request, len(stmts))
+	for i, s := range stmts {
+		out[i] = &Request{Stmt: s, Result: &Result{done: make(chan struct{})}}
+	}
+	return out
+}
+
+func TestFormBatchQuotaExactlyAtBoundary(t *testing.T) {
+	a := newAdmission(Config{StatementQuota: 2})
+	// Quota identity is the SQL text (ad-hoc prepares make fresh handles).
+	sa := &plan.Statement{ID: 1, SQL: "SELECT a"}
+	sb := &plan.Statement{ID: 2, SQL: "SELECT b"}
+
+	// Exactly at the quota: everything admits, nothing sheds.
+	pending := mkReqs(sa, sa, sb)
+	batch, rest := a.formBatch(pending, 0)
+	if len(batch) != 3 || len(rest) != 0 || a.shed != 0 {
+		t.Fatalf("at-boundary batch: got %d admitted, %d shed (counter %d), want 3/0/0",
+			len(batch), len(rest), a.shed)
+	}
+
+	// One over: the third activation of sa sheds, arrival order preserved
+	// in both partitions.
+	pending = mkReqs(sa, sa, sa, sb)
+	third := pending[2]
+	batch, rest = a.formBatch(pending, 0)
+	if len(batch) != 3 || len(rest) != 1 {
+		t.Fatalf("over-quota: got %d admitted, %d shed, want 3/1", len(batch), len(rest))
+	}
+	if batch[0].Stmt != sa || batch[1].Stmt != sa || batch[2].Stmt != sb {
+		t.Fatalf("admitted order broken: %v", []*plan.Statement{batch[0].Stmt, batch[1].Stmt, batch[2].Stmt})
+	}
+	if rest[0] != third {
+		t.Fatal("the shed request must be the third (over-quota) activation of sa")
+	}
+	if a.shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", a.shed)
+	}
+
+	// Quota scratch is cleared between calls: the same statement admits
+	// again next generation.
+	batch, rest = a.formBatch(mkReqs(sa, sa), 0)
+	if len(batch) != 2 || len(rest) != 0 {
+		t.Fatalf("fresh generation must re-admit up to quota, got %d/%d", len(batch), len(rest))
+	}
+
+	// A distinct handle with the same SQL (the ad-hoc path re-preparing)
+	// shares sa's quota bucket.
+	saAdhoc := &plan.Statement{ID: 9, SQL: "SELECT a"}
+	batch, rest = a.formBatch(mkReqs(sa, saAdhoc, saAdhoc), 0)
+	if len(batch) != 2 || len(rest) != 1 {
+		t.Fatalf("same-SQL handles must share the quota, got %d/%d", len(batch), len(rest))
+	}
+
+	// Writes are exempt: quota shedding is non-positional and would
+	// reorder the write stream (divergent replicated copies on shards).
+	wr := &plan.Statement{ID: 3, SQL: "UPDATE t", Write: &sql.WritePlan{}}
+	batch, rest = a.formBatch(mkReqs(wr, wr, wr, wr), 0)
+	if len(batch) != 4 || len(rest) != 0 {
+		t.Fatalf("writes must bypass the quota, got %d admitted / %d shed", len(batch), len(rest))
+	}
+}
+
+func TestFormBatchSLOCapAndMaxBatchCompose(t *testing.T) {
+	a := newAdmission(Config{MaxGenerationDelay: 10 * time.Millisecond})
+	s := &plan.Statement{ID: 1}
+
+	// No cost history: the SLO cannot size the batch yet, everything admits.
+	batch, rest := a.formBatch(mkReqs(s, s, s, s), 0)
+	if len(batch) != 4 || rest != nil {
+		t.Fatalf("no-history SLO must not cap, got %d/%d", len(batch), len(rest))
+	}
+
+	// 4ms per request observed → a 10ms SLO admits 2 per generation.
+	a.recordGeneration(nil, 4*time.Millisecond, 1)
+	if c := a.sloCap(); c != 2 {
+		t.Fatalf("sloCap = %d, want 2 (10ms SLO / 4ms cost)", c)
+	}
+	batch, rest = a.formBatch(mkReqs(s, s, s, s), 0)
+	if len(batch) != 2 || len(rest) != 2 {
+		t.Fatalf("SLO cap: got %d admitted, %d shed, want 2/2", len(batch), len(rest))
+	}
+	if a.shed != 2 {
+		t.Fatalf("SLO deferrals must count as shed, got %d want 2", a.shed)
+	}
+
+	// MaxBatch below the SLO cap wins; a cost spike cannot starve the
+	// engine — the cap floors at one request per generation. The MaxBatch
+	// trim is the legacy cap: it must NOT count as shed.
+	shedBefore := a.shed
+	batch, _ = a.formBatch(mkReqs(s, s, s), 1)
+	if len(batch) != 1 {
+		t.Fatalf("MaxBatch=1 must cap at 1, got %d", len(batch))
+	}
+	if a.shed != shedBefore {
+		t.Fatalf("MaxBatch overflow counted as shed (%d -> %d)", shedBefore, a.shed)
+	}
+	a.costNs = float64(time.Second)
+	if c := a.sloCap(); c != 1 {
+		t.Fatalf("sloCap with cost >> SLO = %d, want floor of 1", c)
+	}
+}
+
+func TestBreakerTripHalfOpenResetCycle(t *testing.T) {
+	a := newAdmission(Config{
+		MaxGenerationDelay: 10 * time.Millisecond,
+		BreakerStrikes:     2,
+		BreakerCooldown:    100 * time.Millisecond,
+	})
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+	s := &plan.Statement{ID: 7, SQL: "SELECT slow"}
+	slow, fast := 20*time.Millisecond, 2*time.Millisecond
+
+	// One strike: still closed.
+	a.recordGeneration([]*plan.Statement{s}, slow, 1)
+	if err := a.admit(s, 0); err != nil {
+		t.Fatalf("one strike of two must stay closed: %v", err)
+	}
+	// An SLO-met generation resets the strike count.
+	a.recordGeneration([]*plan.Statement{s}, fast, 1)
+	a.recordGeneration([]*plan.Statement{s}, slow, 1)
+	if err := a.admit(s, 0); err != nil {
+		t.Fatalf("strikes must reset after a fast generation: %v", err)
+	}
+
+	// Two consecutive strikes: trips.
+	a.recordGeneration([]*plan.Statement{s}, slow, 1)
+	err := a.admit(s, 0)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("tripped breaker must reject, got %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 || oe.RetryAfter > 100*time.Millisecond {
+		t.Fatalf("open-breaker retry hint must be the remaining cooldown, got %+v", oe)
+	}
+	if a.trips != 1 {
+		t.Fatalf("trips = %d, want 1", a.trips)
+	}
+
+	// Mid-cooldown: still rejecting, hint shrinks with the clock.
+	clock = clock.Add(60 * time.Millisecond)
+	if err := a.admit(s, 0); err == nil {
+		t.Fatal("mid-cooldown must still reject")
+	} else if errors.As(err, &oe) && oe.RetryAfter > 40*time.Millisecond {
+		t.Fatalf("retry hint must shrink to the remaining cooldown, got %v", oe.RetryAfter)
+	}
+
+	// Cooldown elapsed: the pre-Prepare peek must admit WITHOUT consuming
+	// the probe slot, then half-open admits exactly one probe.
+	clock = clock.Add(41 * time.Millisecond)
+	if err := a.peekBreaker(s.SQL); err != nil {
+		t.Fatalf("peek after cooldown must admit: %v", err)
+	}
+	if err := a.admit(s, 0); err != nil {
+		t.Fatalf("half-open must admit the probe (peek must not have consumed it): %v", err)
+	}
+	if err := a.peekBreaker(s.SQL); !errors.Is(err, ErrOverloaded) {
+		t.Fatal("peek during the probe must reject")
+	}
+	if err := a.admit(s, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second submission during the probe must reject, got %v", err)
+	}
+
+	// Failed probe: re-trips for another full cooldown.
+	a.recordGeneration([]*plan.Statement{s}, slow, 1)
+	if a.trips != 2 {
+		t.Fatalf("failed probe must count a trip, got %d", a.trips)
+	}
+	if err := a.admit(s, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("re-tripped breaker must reject, got %v", err)
+	}
+
+	// Cooldown again, probe again — this time it meets the SLO: full reset.
+	clock = clock.Add(101 * time.Millisecond)
+	if err := a.admit(s, 0); err != nil {
+		t.Fatalf("second probe must admit: %v", err)
+	}
+	a.recordGeneration([]*plan.Statement{s}, fast, 1)
+	if _, quarantined := a.breakers[s.SQL]; quarantined {
+		t.Fatal("successful probe must fully reset (delete) the breaker")
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.admit(s, 0); err != nil {
+			t.Fatalf("closed breaker must admit freely: %v", err)
+		}
+	}
+}
+
+// TestWriteOnlyGenerationsFeedCostEWMA: a pure-write workload must still
+// train the SLO batch cap — otherwise a write burst leaves costNs at zero
+// and generations drain unboundedly against a configured SLO.
+func TestWriteOnlyGenerationsFeedCostEWMA(t *testing.T) {
+	db, closeDB := bookstore(t)
+	defer closeDB()
+	e := New(db, plan.New(db), Config{MaxGenerationDelay: 50 * time.Millisecond})
+	defer e.Close()
+	w := mustPrepare(t, e, "UPDATE item SET i_price = i_price + 1 WHERE i_id = ?")
+	for i := 0; i < 3; i++ {
+		if err := e.Submit(w, []types.Value{types.NewInt(int64(i))}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.Lock()
+	cost := e.adm.costNs
+	e.mu.Unlock()
+	if cost <= 0 {
+		t.Fatal("write-only generations must feed the cost EWMA")
+	}
+}
+
+// --- Validate ---
+
+func TestValidateAdmissionConfig(t *testing.T) {
+	valid := []Config{
+		{},
+		{MaxGenerationDelay: time.Millisecond},
+		{MaxGenerationDelay: 50 * time.Millisecond, QueueDepthLimit: 10, StatementQuota: 5,
+			BreakerStrikes: 2, BreakerCooldown: time.Second},
+		{QueueDepthLimit: 1},
+	}
+	for _, cfg := range valid {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+	invalid := []Config{
+		{MaxGenerationDelay: -time.Millisecond},
+		{MaxGenerationDelay: 500 * time.Microsecond}, // below timer resolution
+		{MaxGenerationDelay: time.Nanosecond},
+		{QueueDepthLimit: -1},
+		{StatementQuota: -1},
+		{BreakerStrikes: -1, MaxGenerationDelay: time.Millisecond},
+		{BreakerCooldown: -time.Second, MaxGenerationDelay: time.Millisecond},
+		{BreakerStrikes: 3},                 // breaker without an SLO
+		{BreakerCooldown: time.Second},      // breaker without an SLO
+		{StatementQuota: -7, Workers: 2},    // negative quota with other knobs fine
+		{QueueDepthLimit: -3, MaxBatch: 10}, // negative depth with other knobs fine
+	}
+	for _, cfg := range invalid {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+}
+
+// --- engine-level tests ---
+
+// TestAdmissionNonBindingDifferential pins the differential guarantee the
+// tentpole must not break: with admission ENABLED but every limit far above
+// the workload, results are identical to the query-at-a-time oracle (and
+// nothing is shed or rejected) — the admission path may observe, but not
+// perturb.
+func TestAdmissionNonBindingDifferential(t *testing.T) {
+	db, closeDB := bookstore(t)
+	defer closeDB()
+	gp := plan.New(db)
+	e := New(db, gp, Config{
+		MaxGenerationDelay: 10 * time.Second,
+		QueueDepthLimit:    1 << 20,
+		StatementQuota:     1 << 20,
+	})
+	defer e.Close()
+	if e.adm == nil {
+		t.Fatal("admission must be enabled for this test")
+	}
+	qat := baseline.New(db, baseline.SystemXLike)
+
+	templates := []struct {
+		sql     string
+		mkParam func(r *rand.Rand) []types.Value
+	}{
+		{"SELECT i_title, i_price FROM item WHERE i_id = ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewInt(int64(r.Intn(120)))} }},
+		{"SELECT i_id, i_title FROM item WHERE i_subject = ?",
+			func(r *rand.Rand) []types.Value {
+				subjects := []string{"ARTS", "SCIENCE", "HISTORY", "COOKING"}
+				return []types.Value{types.NewString(subjects[r.Intn(len(subjects))])}
+			}},
+		{"SELECT i_subject, COUNT(*), AVG(i_price) FROM item WHERE i_price > ? GROUP BY i_subject",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewFloat(r.Float64() * 100)} }},
+		{"SELECT i_title, a_lname FROM item, author WHERE i_a_id = a_id AND i_subject = ?",
+			func(r *rand.Rand) []types.Value { return []types.Value{types.NewString("ARTS")} }},
+	}
+	sharedStmts := make([]*plan.Statement, len(templates))
+	qatStmts := make([]*baseline.Stmt, len(templates))
+	for i, tpl := range templates {
+		sharedStmts[i] = mustPrepare(t, e, tpl.sql)
+		var err error
+		qatStmts[i], err = qat.Prepare(tpl.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(2027))
+	for round := 0; round < 8; round++ {
+		n := 1 + r.Intn(24)
+		idxs := make([]int, n)
+		params := make([][]types.Value, n)
+		results := make([]*Result, n)
+		for i := 0; i < n; i++ {
+			idxs[i] = r.Intn(len(templates))
+			params[i] = templates[idxs[i]].mkParam(r)
+			results[i] = e.Submit(sharedStmts[idxs[i]], params[i])
+		}
+		for i := 0; i < n; i++ {
+			if err := results[i].Wait(); err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, err)
+			}
+			want, err := qatStmts[idxs[i]].Exec(params[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameRows(results[i].Rows, want.Rows) {
+				t.Fatalf("round %d: mismatch for %q %v", round, templates[idxs[i]].sql, params[i])
+			}
+		}
+	}
+	stats := e.AdmissionStats()
+	if stats.Rejected != 0 || stats.BreakerTrips != 0 {
+		t.Fatalf("non-binding limits must not reject or trip: %+v", stats)
+	}
+}
+
+// TestAdmitReserveRelease pins the router's all-or-nothing seam: a
+// reservation consumes queue capacity until released or consumed by
+// SubmitReserved.
+func TestAdmitReserveRelease(t *testing.T) {
+	db, closeDB := bookstore(t)
+	defer closeDB()
+	e := New(db, plan.New(db), Config{QueueDepthLimit: 2})
+	defer e.Close()
+
+	if err := e.AdmitReserve(nil); err != nil {
+		t.Fatalf("first reservation: %v", err)
+	}
+	if err := e.AdmitReserve(nil); err != nil {
+		t.Fatalf("second reservation: %v", err)
+	}
+	if err := e.AdmitReserve(nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third reservation at limit 2 must reject, got %v", err)
+	}
+	e.AdmitRelease()
+	if err := e.AdmitReserve(nil); err != nil {
+		t.Fatalf("reservation after release: %v", err)
+	}
+	// Consume both reservations through the reserved submit path; the
+	// requests execute normally.
+	s := mustPrepare(t, e, "SELECT i_id FROM item WHERE i_id = ?")
+	r1 := e.SubmitReserved(s, []types.Value{types.NewInt(1)})
+	r2 := e.SubmitReserved(s, []types.Value{types.NewInt(2)})
+	if err := r1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if depth := e.AdmissionStats().QueueDepth; depth != 0 {
+		t.Fatalf("reservations must be consumed, queue depth = %d", depth)
+	}
+}
+
+// TestBreakerQuarantinesSlowStatement drives the breaker end to end on a
+// real engine: a statement whose generations reliably blow a 1ms SLO trips
+// after BreakerStrikes cycles, rejects while open, and admits a half-open
+// probe after the cooldown.
+func TestBreakerQuarantinesSlowStatement(t *testing.T) {
+	db, closeDB := bigTable(t, 60000)
+	defer closeDB()
+	e := New(db, plan.New(db), Config{
+		MaxGenerationDelay: MinGenerationDelay, // 1ms: the scan+sort below cannot meet it
+		BreakerStrikes:     2,
+		BreakerCooldown:    50 * time.Millisecond,
+	})
+	defer e.Close()
+
+	heavy := mustPrepare(t, e, "SELECT b_id FROM big WHERE b_pad LIKE '%x%' ORDER BY b_val")
+	for i := 0; i < 2; i++ {
+		if err := e.Submit(heavy, nil).Wait(); err != nil {
+			t.Fatalf("pre-trip generation %d: %v", i, err)
+		}
+	}
+	// Two consecutive over-SLO generations: quarantined.
+	err := e.Submit(heavy, nil).Wait()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("statement must be quarantined after 2 slow generations, got %v", err)
+	}
+	if trips := e.AdmissionStats().BreakerTrips; trips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", trips)
+	}
+	// The quarantine binds to the SQL text, not the handle: a fresh
+	// prepare of the same statement (the ad-hoc path) is rejected too,
+	// and the pre-Prepare peek rejects without touching the pipeline.
+	if err := e.AdmitStatement(heavy.SQL); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("AdmitStatement peek on a quarantined SQL must reject, got %v", err)
+	}
+	heavyAdhoc := mustPrepare(t, e, heavy.SQL)
+	if heavyAdhoc == heavy {
+		t.Fatal("fixture assumption broken: Prepare returned the same handle")
+	}
+	if err := e.Submit(heavyAdhoc, nil).Wait(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("re-prepared handle of a quarantined statement must reject, got %v", err)
+	}
+	// After the cooldown a probe is admitted; it is still slow, so the
+	// breaker re-trips and the next submission rejects again.
+	time.Sleep(60 * time.Millisecond)
+	if err := e.Submit(heavy, nil).Wait(); err != nil {
+		t.Fatalf("half-open probe must be admitted and answered: %v", err)
+	}
+	if err := e.Submit(heavy, nil).Wait(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("failed probe must re-quarantine, got %v", err)
+	}
+	if trips := e.AdmissionStats().BreakerTrips; trips != 2 {
+		t.Fatalf("BreakerTrips = %d, want 2", trips)
+	}
+}

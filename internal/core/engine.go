@@ -73,6 +73,31 @@ type Config struct {
 	// to serial as a backstop). Per-query results are identical at any
 	// setting.
 	Workers int
+
+	// MaxGenerationDelay is the per-generation latency SLO (the paper's
+	// response-time limit): batch formation caps each generation at the
+	// size predicted — from an EWMA of observed per-request cycle cost —
+	// to finish within it, and the slow-query circuit breaker quarantines
+	// statements whose generations repeatedly exceed it. 0 disables both;
+	// non-zero values below MinGenerationDelay are rejected by
+	// Config.Validate (the timer cannot enforce them).
+	MaxGenerationDelay time.Duration
+	// QueueDepthLimit caps the submission queue: submissions beyond it are
+	// rejected immediately with a *OverloadError (wrapping ErrOverloaded)
+	// carrying a retry hint, instead of queueing unboundedly. 0 = unlimited.
+	QueueDepthLimit int
+	// StatementQuota caps how many activations of any one statement a
+	// single generation admits; excess activations are shed — they stay
+	// queued, in arrival order, for a later generation. 0 = unlimited.
+	StatementQuota int
+	// BreakerStrikes is how many consecutive over-SLO generations
+	// containing a statement trip its slow-query breaker (0 selects
+	// DefaultBreakerStrikes; requires MaxGenerationDelay > 0).
+	BreakerStrikes int
+	// BreakerCooldown is how long a tripped statement stays quarantined
+	// before a half-open probe is admitted (0 selects 8×MaxGenerationDelay;
+	// requires MaxGenerationDelay > 0).
+	BreakerCooldown time.Duration
 }
 
 // Engine drives generations over a storage database and a global plan.
@@ -87,7 +112,13 @@ type Engine struct {
 	stopped bool
 	gen     uint64
 
-	workers int // resolved Config.Workers (immutable after New)
+	workers int        // resolved Config.Workers (immutable after New)
+	adm     *admission // admission controller; nil when every limit is zero
+	// reserved counts queue slots handed out by AdmitReserve but not yet
+	// consumed by SubmitReserved/SubmitTxReserved (the shard router's
+	// all-or-nothing broadcast admission). Guarded by mu; counted against
+	// QueueDepthLimit alongside len(pending).
+	reserved int
 
 	// pipeline state, guarded by mu
 	maxInFlight  int // resolved MaxInFlightGenerations
@@ -149,6 +180,7 @@ func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 		e.maxInFlight = 1
 	}
 	e.workers = par.Resolve(cfg.Workers)
+	e.adm = newAdmission(cfg)
 	gp.SetWorkers(e.workers)
 	e.cond = sync.NewCond(&e.mu)
 	gp.Start()
@@ -216,11 +248,88 @@ func (e *Engine) Database() *storage.Database { return e.db }
 // Plan returns the global plan.
 func (e *Engine) Plan() *plan.GlobalPlan { return e.plan }
 
-// Submit enqueues a request for the next generation.
+// Submit enqueues a request for the next generation. With admission limits
+// configured the request may be rejected immediately: the Result completes
+// with a *OverloadError (errors.Is(err, ErrOverloaded)) without entering
+// the queue.
 func (e *Engine) Submit(stmt *plan.Statement, params []types.Value) *Result {
 	req := &Request{Stmt: stmt, Params: params, Result: &Result{done: make(chan struct{})}}
-	e.enqueue(req)
+	e.enqueue(req, false)
 	return req.Result
+}
+
+// SubmitReserved is Submit for a request whose admission was already
+// decided by AdmitReserve: it consumes one reservation and skips the
+// admission checks (the shard router's all-or-nothing broadcast path).
+func (e *Engine) SubmitReserved(stmt *plan.Statement, params []types.Value) *Result {
+	req := &Request{Stmt: stmt, Params: params, Result: &Result{done: make(chan struct{})}}
+	e.enqueue(req, true)
+	return req.Result
+}
+
+// AdmitReserve runs the admission checks for one future submission and, on
+// success, reserves its queue slot (counted against QueueDepthLimit) until
+// SubmitReserved/SubmitTxReserved consumes it or AdmitRelease returns it.
+// The shard router reserves on every shard before enqueueing a broadcast
+// write anywhere, so partial admission can never diverge replicated copies.
+// stmt may be nil (transaction commits): only the queue-depth check applies.
+func (e *Engine) AdmitReserve(stmt *plan.Statement) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return errors.New("core: engine closed")
+	}
+	if e.adm != nil {
+		if err := e.adm.admit(stmt, len(e.pending)+e.reserved); err != nil {
+			return err
+		}
+	}
+	e.reserved++
+	return nil
+}
+
+// AdmitRelease returns an unused AdmitReserve reservation.
+func (e *Engine) AdmitRelease() {
+	e.mu.Lock()
+	if e.reserved > 0 {
+		e.reserved--
+	}
+	e.mu.Unlock()
+}
+
+// AdmitStatement reports whether a statement with the given SQL text would
+// be rejected by the slow-query breaker right now, without preparing or
+// submitting anything. The ad-hoc path (DB.Prepare/DB.Query) calls it
+// before Prepare: Prepare quiesces the generation pipeline, so a
+// quarantined statement's retries must fail fast here instead of draining
+// in-flight generations on every attempt. It is a peek, not a reservation —
+// the authoritative check (which consumes the half-open probe slot) still
+// runs at Submit.
+func (e *Engine) AdmitStatement(sqlText string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.adm == nil {
+		return nil
+	}
+	if err := e.adm.peekBreaker(sqlText); err != nil {
+		e.adm.rejected++
+		return err
+	}
+	return nil
+}
+
+// AdmissionStats reports the admission controller's counters (zero values
+// when admission is disabled).
+func (e *Engine) AdmissionStats() AdmissionStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := AdmissionStats{QueueDepth: len(e.pending) + e.reserved}
+	if e.adm != nil {
+		s.Shed = e.adm.shed
+		s.Rejected = e.adm.rejected
+		s.BreakerTrips = e.adm.trips
+	}
+	return s
 }
 
 // SubmitTx enqueues a transaction commit for the next generation. The
@@ -234,17 +343,45 @@ func (e *Engine) SubmitTx(tx Tx) *Result {
 		return res
 	}
 	req := &Request{Tx: stx, Result: &Result{done: make(chan struct{})}}
-	e.enqueue(req)
+	e.enqueue(req, false)
 	return req.Result
 }
 
-func (e *Engine) enqueue(req *Request) {
+// SubmitTxReserved is SubmitTx consuming an AdmitReserve reservation (the
+// shard router's transaction-group commit path).
+func (e *Engine) SubmitTxReserved(tx Tx) *Result {
+	stx, ok := tx.(*storage.Tx)
+	if !ok {
+		e.AdmitRelease()
+		res := NewPendingResult()
+		res.Complete(errNotStorageTx)
+		return res
+	}
+	req := &Request{Tx: stx, Result: &Result{done: make(chan struct{})}}
+	e.enqueue(req, true)
+	return req.Result
+}
+
+// enqueue admits (or, for the reserved path, consumes the reservation of)
+// one request and appends it to the pending queue.
+func (e *Engine) enqueue(req *Request, reserved bool) {
 	e.mu.Lock()
+	if reserved && e.reserved > 0 {
+		e.reserved--
+	}
 	if e.stopped {
 		e.mu.Unlock()
 		req.Result.Err = errors.New("core: engine closed")
 		close(req.Result.done)
 		return
+	}
+	if !reserved && e.adm != nil {
+		if err := e.adm.admit(req.Stmt, len(e.pending)+e.reserved); err != nil {
+			e.mu.Unlock()
+			req.Result.Err = err
+			close(req.Result.done)
+			return
+		}
 	}
 	e.pending = append(e.pending, req)
 	e.cond.Broadcast()
@@ -288,7 +425,12 @@ func (e *Engine) loop() {
 			return
 		}
 		batch := e.pending
-		if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
+		if e.adm != nil {
+			// Admission-controlled batch formation: per-statement quotas
+			// and the SLO-predicted size cap shed excess back to the queue
+			// (arrival order preserved); MaxBatch composes inside.
+			batch, e.pending = e.adm.formBatch(batch, e.cfg.MaxBatch)
+		} else if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
 			e.pending = batch[e.cfg.MaxBatch:]
 			batch = batch[:e.cfg.MaxBatch]
 		} else {
@@ -381,6 +523,12 @@ func (e *Engine) prepare(sqlText string, ast sql.Statement) (*plan.Statement, er
 // write order. The read phase is launched into the plan and completes
 // asynchronously; generationDone retires the generation.
 func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
+	// Admission feedback needs the generation's cycle time (dispatch start
+	// to read-phase completion); only measured when admission is on.
+	var admStart time.Time
+	if e.adm != nil {
+		admStart = time.Now()
+	}
 	// Phase 1: writes, in arrival order. Standalone write statements apply
 	// with Crescando semantics (later ops see earlier ones); transaction
 	// commits follow with snapshot-isolation validation.
@@ -451,9 +599,32 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 		if len(writeOps) == 0 && len(txs) == 0 {
 			e.generationDone()
 		}
+		// Write-only generations feed the cost EWMA too (no statements —
+		// the breaker only judges read plans): without this, a pure-write
+		// burst would leave costNs at zero and the SLO batch cap blind.
+		if e.adm != nil {
+			e.mu.Lock()
+			e.adm.recordGeneration(nil, time.Since(admStart), len(batch))
+			e.mu.Unlock()
+		}
 		return
 	}
 	ts := e.db.PinCurrentSnapshot()
+	// The breaker blames generations, not operators: collect the distinct
+	// read statements so the completion callback can strike (or reset)
+	// each one against the observed cycle time. Distinctness is by SQL
+	// text — the breaker's identity — so two ad-hoc prepares of the same
+	// statement in one generation strike once, not twice.
+	var admStmts []*plan.Statement
+	if e.adm != nil {
+		seen := make(map[string]bool, len(readReqs))
+		for _, r := range readReqs {
+			if !seen[r.Stmt.SQL] {
+				seen[r.Stmt.SQL] = true
+				admStmts = append(admStmts, r.Stmt)
+			}
+		}
+	}
 	acts := make([]plan.Activation, len(readReqs))
 	byQID := make(map[queryset.QueryID]*Request, len(readReqs))
 	for i, r := range readReqs {
@@ -501,6 +672,9 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 			e.db.UnpinSnapshot(ts)
 			e.mu.Lock()
 			e.queriesRun += uint64(len(readReqs))
+			if e.adm != nil {
+				e.adm.recordGeneration(admStmts, time.Since(admStart), len(batch))
+			}
 			e.mu.Unlock()
 			e.generationDone()
 			for _, r := range readReqs {

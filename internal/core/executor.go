@@ -21,6 +21,11 @@ import (
 // global plan, but SQL/IsWrite/OutSchema behave identically.
 type Executor interface {
 	Prepare(sqlText string) (*plan.Statement, error)
+	// AdmitStatement is the pre-Prepare admission peek: it rejects (with
+	// a *OverloadError) when the statement's SQL text is quarantined by
+	// the slow-query breaker, so ad-hoc retries fail fast without paying
+	// Prepare's pipeline quiesce. Always nil when admission is disabled.
+	AdmitStatement(sqlText string) error
 	Submit(stmt *plan.Statement, params []types.Value) *Result
 	// BeginTx opens a buffered write transaction; SubmitTx enqueues its
 	// commit for the next generation.
@@ -65,8 +70,9 @@ func (r *Result) Complete(err error) {
 }
 
 // Validate rejects configurations that previously defaulted silently:
-// negative Workers and negative MaxInFlightGenerations. (Zero still means
-// "engine default" for both.)
+// negative Workers and negative MaxInFlightGenerations (zero still means
+// "engine default" for both), negative admission limits, an SLO the timer
+// cannot enforce, and breaker knobs without the SLO that drives them.
 func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d (0 = GOMAXPROCS, 1 = serial)", c.Workers)
@@ -76,6 +82,28 @@ func (c Config) Validate() error {
 	}
 	if c.MaxBatch < 0 {
 		return fmt.Errorf("core: MaxBatch must be >= 0, got %d (0 = unlimited)", c.MaxBatch)
+	}
+	if c.MaxGenerationDelay < 0 {
+		return fmt.Errorf("core: MaxGenerationDelay must be >= 0, got %v (0 = no latency SLO)", c.MaxGenerationDelay)
+	}
+	if c.MaxGenerationDelay > 0 && c.MaxGenerationDelay < MinGenerationDelay {
+		return fmt.Errorf("core: MaxGenerationDelay %v is below the %v timer resolution and cannot be enforced (use 0 to disable the SLO)",
+			c.MaxGenerationDelay, MinGenerationDelay)
+	}
+	if c.QueueDepthLimit < 0 {
+		return fmt.Errorf("core: QueueDepthLimit must be >= 0, got %d (0 = unlimited)", c.QueueDepthLimit)
+	}
+	if c.StatementQuota < 0 {
+		return fmt.Errorf("core: StatementQuota must be >= 0, got %d (0 = unlimited)", c.StatementQuota)
+	}
+	if c.BreakerStrikes < 0 {
+		return fmt.Errorf("core: BreakerStrikes must be >= 0, got %d (0 = default %d)", c.BreakerStrikes, DefaultBreakerStrikes)
+	}
+	if c.BreakerCooldown < 0 {
+		return fmt.Errorf("core: BreakerCooldown must be >= 0, got %v (0 = 8x MaxGenerationDelay)", c.BreakerCooldown)
+	}
+	if (c.BreakerStrikes > 0 || c.BreakerCooldown > 0) && c.MaxGenerationDelay == 0 {
+		return fmt.Errorf("core: breaker knobs require MaxGenerationDelay > 0 (the SLO the slow-query breaker enforces)")
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,14 @@ func NewEnv(kind SystemKind, scale tpcw.Scale, seed int64, workers int) (*Env, e
 // baselines stay single-node — their comparison point is the unsharded
 // engine.
 func NewEnvSharded(kind SystemKind, scale tpcw.Scale, seed int64, workers, shards int) (*Env, error) {
+	return NewEnvWithOptions(kind, Options{Scale: scale, Seed: seed, Workers: workers, Shards: shards})
+}
+
+// NewEnvWithOptions builds the environment from the full Options — the
+// admission-control knobs included — so overload scenarios can run against
+// an engine with a latency SLO, queue cap and statement quotas.
+func NewEnvWithOptions(kind SystemKind, opts Options) (*Env, error) {
+	scale, seed, shards := opts.Scale, opts.Seed, opts.Shards
 	if kind == SharedDB && shards > 1 {
 		dbs := make([]*storage.Database, 0, shards)
 		closeAll := func() {
@@ -86,7 +95,7 @@ func NewEnvSharded(kind SystemKind, scale tpcw.Scale, seed int64, workers, shard
 			closeAll()
 			return nil, err
 		}
-		sys, err := tpcw.NewShardedSystem(dbs, core.Config{Workers: workers})
+		sys, err := tpcw.NewShardedSystem(dbs, opts.coreConfig())
 		if err != nil {
 			closeAll()
 			return nil, err
@@ -105,7 +114,7 @@ func NewEnvSharded(kind SystemKind, scale tpcw.Scale, seed int64, workers, shard
 	env := &Env{DB: db, dbs: []*storage.Database{db}, Gen: gen, IDs: tpcw.NewIDAllocator(gen), Scale: scale}
 	switch kind {
 	case SharedDB:
-		sys, err := tpcw.NewSharedSystem(db, core.Config{Workers: workers})
+		sys, err := tpcw.NewSharedSystem(db, opts.coreConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -143,6 +152,24 @@ type Options struct {
 	Seed          int64
 	Workers       int // SharedDB intra-operator workers (0 = GOMAXPROCS)
 	Shards        int // SharedDB shard engines (0 or 1 = single engine)
+
+	// Admission-control knobs for overload scenarios (zero = disabled, the
+	// classic unbounded-queue engine). They apply to SharedDB only; the
+	// query-at-a-time baselines have no admission path.
+	MaxGenerationDelay time.Duration // per-generation latency SLO
+	QueueDepthLimit    int           // submissions queued per engine before rejection
+	StatementQuota     int           // activations of one statement per generation
+}
+
+// coreConfig maps the Options onto the engine configuration shared by the
+// single-engine and sharded backends.
+func (o Options) coreConfig() core.Config {
+	return core.Config{
+		Workers:            o.Workers,
+		MaxGenerationDelay: o.MaxGenerationDelay,
+		QueueDepthLimit:    o.QueueDepthLimit,
+		StatementQuota:     o.StatementQuota,
+	}
 }
 
 // DefaultOptions is the laptop-scale configuration.
@@ -413,6 +440,92 @@ func openLoopRun(env *Env, lightRate, heavyRate float64, maxOID int64, window ti
 	wg.Wait()
 	secs := window.Seconds()
 	return float64(lightDone) / secs, float64(heavyDone) / secs
+}
+
+// OverloadResult is one overload-scenario run: how much work was offered,
+// how much admission control let through, and the latency distribution of
+// the admitted queries.
+type OverloadResult struct {
+	Offered  int64 // queries offered by the clients
+	Admitted int64 // queries admitted and answered
+	Shed     int64 // queries rejected with ErrOverloaded
+	P50      time.Duration
+	P99      time.Duration
+	Mean     time.Duration
+	Max      time.Duration
+	Elapsed  time.Duration
+}
+
+// ShedRate is the fraction of offered queries rejected by admission
+// control.
+func (r *OverloadResult) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// Overload drives a deliberately saturating closed-loop burst of light
+// TPC-W queries (clients-way concurrent, no think time) against a SharedDB
+// instance with admission control enabled, and reports admitted-latency
+// percentiles plus the shed rate. The claim under test is the flip side of
+// Fig10/Fig11: with a queue cap and a latency SLO, overload shows up as
+// fast typed rejections and bounded admitted latency, not as an unbounded
+// queue. At least one admission limit must be set in opts.
+func Overload(opts Options, queries, clients int) (*OverloadResult, error) {
+	if opts.MaxGenerationDelay == 0 && opts.QueueDepthLimit == 0 && opts.StatementQuota == 0 {
+		return nil, fmt.Errorf("experiments: Overload needs at least one admission limit set (the scenario measures admission behavior)")
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	env, err := NewEnvWithOptions(SharedDB, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	hist := harness.NewHistogram()
+	var admitted, shed, failed int64
+	per := (queries + clients - 1) / clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				title := fmt.Sprintf("Title %02d%%", (c*per+i)%100)
+				qStart := time.Now()
+				_, err := env.Sys.Query(tpcw.StDoTitleSearch, types.NewString(title))
+				switch {
+				case err == nil:
+					atomic.AddInt64(&admitted, 1)
+					hist.Observe(time.Since(qStart))
+				case errors.Is(err, core.ErrOverloaded):
+					// Rejected fast: the client would back off by the
+					// retry hint; the closed loop just offers the next.
+					atomic.AddInt64(&shed, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if failed > 0 {
+		return nil, fmt.Errorf("experiments: overload run had %d non-overload failures", failed)
+	}
+	return &OverloadResult{
+		Offered:  int64(per * clients),
+		Admitted: admitted,
+		Shed:     shed,
+		P50:      hist.Quantile(0.50),
+		P99:      hist.Quantile(0.99),
+		Mean:     hist.Mean(),
+		Max:      hist.Max(),
+		Elapsed:  time.Since(start),
+	}, nil
 }
 
 // RenderFig7 formats a Fig7 result as the paper's throughput table.

@@ -118,3 +118,33 @@ func TestFig11Smoke(t *testing.T) {
 		t.Errorf("render:\n%s", out)
 	}
 }
+
+// TestOverloadScenarioSmoke runs the admission-control overload scenario at
+// toy scale: the run must complete (no deadlock under rejection), account
+// for every offered query, and keep latency percentiles consistent.
+func TestOverloadScenarioSmoke(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxGenerationDelay = 5 * time.Millisecond
+	opts.QueueDepthLimit = 8
+	res, err := Overload(opts, 400, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted+res.Shed != res.Offered {
+		t.Fatalf("accounting: admitted %d + shed %d != offered %d", res.Admitted, res.Shed, res.Offered)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("overload scenario admitted nothing")
+	}
+	if res.Admitted > 0 && (res.P50 <= 0 || res.P99 < res.P50) {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if rate := res.ShedRate(); rate < 0 || rate > 1 {
+		t.Fatalf("shed rate %v out of range", rate)
+	}
+	// Without any admission limit the scenario refuses to run (it would
+	// measure nothing).
+	if _, err := Overload(tinyOpts(), 10, 2); err == nil {
+		t.Fatal("Overload without admission limits must error")
+	}
+}

@@ -195,6 +195,46 @@ func (r *Router) Close() {
 	}
 }
 
+// AdmitStatement is the pre-Prepare admission peek across shards. It
+// rejects only when EVERY shard's breaker rejects the statement: before
+// Prepare the route is unknown, and a point or replicated-read submission
+// could still land on a healthy shard (broadcast submissions to a partly
+// quarantined fleet are rejected at gather time anyway). The hint is the
+// smallest per-shard RetryAfter — the earliest moment anything changes.
+func (r *Router) AdmitStatement(sqlText string) error {
+	var worst *core.OverloadError
+	for _, e := range r.engines {
+		err := e.AdmitStatement(sqlText)
+		if err == nil {
+			return nil
+		}
+		var oe *core.OverloadError
+		if !errors.As(err, &oe) {
+			return err // engine closed etc.: no healthier shard can help
+		}
+		if worst == nil || oe.RetryAfter < worst.RetryAfter {
+			worst = oe
+		}
+	}
+	if worst != nil {
+		return worst
+	}
+	return nil
+}
+
+// AdmissionStats sums the shard engines' admission counters.
+func (r *Router) AdmissionStats() core.AdmissionStats {
+	var out core.AdmissionStats
+	for _, e := range r.engines {
+		s := e.AdmissionStats()
+		out.Shed += s.Shed
+		out.Rejected += s.Rejected
+		out.BreakerTrips += s.BreakerTrips
+		out.QueueDepth += s.QueueDepth
+	}
+	return out
+}
+
 // Stats sums the shard engines' counters.
 func (r *Router) Stats() (generations, queries, writes uint64) {
 	for _, e := range r.engines {
@@ -327,33 +367,63 @@ func (r *Router) Submit(stmt *plan.Statement, params []types.Value) *core.Result
 		return r.engines[s].Submit(rs.perShard[s], params)
 	}
 	// Scatter to all shards. Writes enqueue under wmu so every shard sees
-	// concurrent broadcast writes in the same arrival order.
+	// concurrent broadcast writes in the same arrival order — and admit
+	// all-or-nothing: a broadcast write rejected by one shard but applied
+	// by the rest would diverge replicated copies permanently, so every
+	// shard's queue slot is reserved before any shard enqueues.
 	subs := make([]*core.Result, len(r.engines))
 	if sp.Write != nil {
 		r.wmu.Lock()
-	}
-	for i, e := range r.engines {
-		subs[i] = e.Submit(rs.perShard[i], params)
-	}
-	if sp.Write != nil {
+		for i, e := range r.engines {
+			if err := e.AdmitReserve(rs.perShard[i]); err != nil {
+				for j := 0; j < i; j++ {
+					r.engines[j].AdmitRelease()
+				}
+				r.wmu.Unlock()
+				return failedResult(err)
+			}
+		}
+		for i, e := range r.engines {
+			subs[i] = e.SubmitReserved(rs.perShard[i], params)
+		}
 		r.wmu.Unlock()
+	} else {
+		for i, e := range r.engines {
+			subs[i] = e.Submit(rs.perShard[i], params)
+		}
 	}
 	res := core.NewPendingResult()
 	res.Schema = sp.OutSchema
 	go func() {
+		// Partial-admission merge for scatter reads: a shard rejecting with
+		// ErrOverloaded costs nothing to retry (reads mutate no state), so
+		// the gathered result is "overloaded, retry the whole statement"
+		// with the largest per-shard retry hint — unless some shard failed
+		// for a real (non-overload) reason, which wins.
 		var firstErr error
+		var overload *core.OverloadError
 		shardRows := make([][]types.Row, len(subs))
 		affected := 0
 		for i, sub := range subs {
 			err := sub.Wait()
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				var oe *core.OverloadError
+				if errors.As(err, &oe) {
+					if overload == nil || oe.RetryAfter > overload.RetryAfter {
+						overload = oe
+					}
+				} else if firstErr == nil {
+					firstErr = err
+				}
 			}
 			shardRows[i] = sub.Rows
 			affected += sub.RowsAffected
 			if sub.SnapshotTS > res.SnapshotTS {
 				res.SnapshotTS = sub.SnapshotTS
 			}
+		}
+		if firstErr == nil && overload != nil {
+			firstErr = overload
 		}
 		if firstErr != nil {
 			res.Complete(firstErr)
@@ -533,11 +603,28 @@ func (r *Router) SubmitTx(tx core.Tx) *core.Result {
 		t.Rollback()
 		return failedResult(t.err)
 	}
+	// Reserve a queue slot on every dirty shard before any shard enqueues:
+	// a commit rejected for overload on one shard must reject everywhere,
+	// or the transaction group would apply on a subset of its shards.
 	var subs []*core.Result
 	r.wmu.Lock()
+	var reserved []int
 	for i, dirty := range t.dirty {
 		if dirty {
-			subs = append(subs, r.engines[i].SubmitTx(t.txs[i]))
+			if err := r.engines[i].AdmitReserve(nil); err != nil {
+				for _, j := range reserved {
+					r.engines[j].AdmitRelease()
+				}
+				r.wmu.Unlock()
+				t.Rollback()
+				return failedResult(err)
+			}
+			reserved = append(reserved, i)
+		}
+	}
+	for i, dirty := range t.dirty {
+		if dirty {
+			subs = append(subs, r.engines[i].SubmitTxReserved(t.txs[i]))
 		}
 	}
 	r.wmu.Unlock()

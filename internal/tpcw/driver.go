@@ -1,12 +1,14 @@
 package tpcw
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"shareddb/internal/core"
 	"shareddb/internal/harness"
 	"shareddb/internal/shard"
 	"shareddb/internal/storage"
@@ -88,6 +90,10 @@ type Metrics struct {
 
 	Success int64 // interactions finished within their response-time limit
 	Late    int64 // finished but exceeded the limit (not valid WIPS)
+	// Shed counts interactions rejected by admission control
+	// (ErrOverloaded): backpressure doing its job under overload, reported
+	// separately from Errors so shed rate is measurable per run.
+	Shed    int64
 	Errors  int64
 	Total   int64
 	ByInter [NumInteractions]int64
@@ -102,6 +108,15 @@ func (m *Metrics) WIPS() float64 {
 		return 0
 	}
 	return float64(m.Success) / m.Duration.Seconds()
+}
+
+// ShedRate is the fraction of offered interactions rejected by admission
+// control during the run.
+func (m *Metrics) ShedRate() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Shed) / float64(m.Total)
 }
 
 // OfferedLoad is the "GeneratedLoad" line of Figure 7: the throughput the
@@ -162,9 +177,17 @@ func RunDriver(sys System, scale Scale, ids *IDAllocator, cfg DriverConfig) *Met
 				}
 				atomic.AddInt64(&m.Total, 1)
 				atomic.AddInt64(&m.ByInter[inter], 1)
-				m.Latency.Observe(lat)
-				m.ByLat[inter].Observe(lat)
+				shed := err != nil && errors.Is(err, core.ErrOverloaded)
+				if !shed {
+					// Rejections return in microseconds by design; folding
+					// them into the histograms would understate admitted
+					// latency in exactly the overload runs Shed is for.
+					m.Latency.Observe(lat)
+					m.ByLat[inter].Observe(lat)
+				}
 				switch {
+				case shed:
+					atomic.AddInt64(&m.Shed, 1)
 				case err != nil:
 					atomic.AddInt64(&m.Errors, 1)
 				case timeScale > 0 && lat > limit:

@@ -450,3 +450,48 @@ func TestShardedDriverShortRun(t *testing.T) {
 		t.Errorf("%d of %d interactions failed", m.Errors, m.Total)
 	}
 }
+
+// TestDriverOverloadCountsShed runs the closed-loop driver against a
+// SharedDB instance whose queue cap is far below the offered concurrency:
+// admission rejections must land in Metrics.Shed (not Errors), the run must
+// complete without deadlock, and the accounting must close.
+func TestDriverOverloadCountsShed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver run")
+	}
+	db, g := setupDB(t, smallScale())
+	defer db.Close()
+	shared, err := NewSharedSystem(db, core.Config{
+		QueueDepthLimit:        2,
+		MaxInFlightGenerations: 1,
+		Heartbeat:              2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	ids := NewIDAllocator(g)
+
+	m := RunDriver(shared, smallScale(), ids, DriverConfig{
+		EBs: 24, Duration: 400 * time.Millisecond, ThinkTime: 0,
+		Mix: Browsing, Only: -1, Seed: 11,
+	})
+	if m.Total == 0 {
+		t.Fatal("no interactions offered")
+	}
+	if m.Errors > 0 {
+		t.Fatalf("%d non-overload errors of %d", m.Errors, m.Total)
+	}
+	if m.Shed == 0 {
+		t.Fatalf("24 EBs against a 2-deep queue must shed (total %d)", m.Total)
+	}
+	if m.Success == 0 {
+		t.Fatal("overload must still admit interactions")
+	}
+	if got := m.Success + m.Late + m.Shed + m.Errors; got != m.Total {
+		t.Fatalf("accounting: %d classified of %d total", got, m.Total)
+	}
+	if rate := m.ShedRate(); rate <= 0 || rate >= 1 {
+		t.Fatalf("shed rate %v, want in (0, 1)", rate)
+	}
+}

@@ -77,6 +77,33 @@ type Config struct {
 	// values are rejected by Open. Per-query results are identical at any
 	// setting.
 	Workers int
+	// MaxGenerationDelay is the per-generation latency SLO (the paper's
+	// response-time limit). When set, batch formation caps each generation
+	// at the size predicted — from observed cycle times — to finish within
+	// it, and the slow-query circuit breaker quarantines statements whose
+	// generations repeatedly exceed it (submissions of a quarantined
+	// statement are rejected with ErrOverloaded until a cooldown probe
+	// meets the SLO again). 0 disables both; non-zero values below 1ms are
+	// rejected by Open (the generation timer cannot enforce them).
+	MaxGenerationDelay time.Duration
+	// QueueDepthLimit caps how many submissions may wait for a generation
+	// (per shard on sharded deployments). Submissions beyond the cap fail
+	// immediately with a *OverloadError carrying a retry hint instead of
+	// queueing unboundedly. 0 = unlimited.
+	QueueDepthLimit int
+	// StatementQuota caps how many activations of any single statement one
+	// generation admits; excess activations are shed to later generations
+	// in arrival order (they wait longer, but one statement's burst cannot
+	// monopolize a cycle). 0 = unlimited.
+	StatementQuota int
+	// BreakerStrikes is the number of consecutive over-SLO generations
+	// containing a statement that trips its slow-query breaker (0 selects
+	// the default of 3; requires MaxGenerationDelay).
+	BreakerStrikes int
+	// BreakerCooldown is how long a quarantined statement stays rejected
+	// before a half-open probe is admitted (0 selects 8×MaxGenerationDelay;
+	// requires MaxGenerationDelay).
+	BreakerCooldown time.Duration
 	// Shards splits the database into that many shard engines, each
 	// owning a hash partition (on primary key) of every table with its
 	// own always-on global plan and generation loop. A scatter-gather
@@ -105,7 +132,9 @@ type Config struct {
 
 // Validate rejects configurations that previously defaulted silently.
 // Negative Workers, MaxInFlightGenerations and Shards are errors (zero
-// keeps selecting each knob's documented default).
+// keeps selecting each knob's documented default), as are negative
+// admission limits, a non-zero MaxGenerationDelay below the 1ms timer
+// resolution, and breaker knobs without the SLO that drives them.
 func (c Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("shareddb: Shards must be >= 0, got %d (0 or 1 = single engine)", c.Shards)
@@ -119,8 +148,24 @@ func (c Config) coreConfig() core.Config {
 		MaxBatch:               c.MaxBatch,
 		MaxInFlightGenerations: c.MaxInFlightGenerations,
 		Workers:                c.Workers,
+		MaxGenerationDelay:     c.MaxGenerationDelay,
+		QueueDepthLimit:        c.QueueDepthLimit,
+		StatementQuota:         c.StatementQuota,
+		BreakerStrikes:         c.BreakerStrikes,
+		BreakerCooldown:        c.BreakerCooldown,
 	}
 }
+
+// ErrOverloaded is the sentinel every admission-control rejection wraps:
+// when the submission queue is at QueueDepthLimit, or a statement is
+// quarantined by the slow-query breaker, Query/Exec fail fast with an error
+// matching errors.Is(err, shareddb.ErrOverloaded) instead of queueing. Use
+// errors.As with *OverloadError to recover the retry hint.
+var ErrOverloaded = core.ErrOverloaded
+
+// OverloadError is the typed admission rejection: the reason a submission
+// was refused plus RetryAfter, the suggested client back-off.
+type OverloadError = core.OverloadError
 
 // DB is a SharedDB database handle. It is safe for concurrent use.
 type DB struct {
@@ -282,8 +327,14 @@ type Stmt struct {
 
 // Prepare registers a statement. Like JDBC PreparedStatements in the
 // paper's TPC-W setup, statements are typically prepared once at startup;
-// preparing at runtime is the ad-hoc query path.
+// preparing at runtime is the ad-hoc query path — which is why the
+// slow-query breaker is consulted first: registration quiesces the
+// generation pipeline, and retries of a quarantined ad-hoc statement must
+// fail fast (ErrOverloaded) without stalling every other client.
 func (db *DB) Prepare(sqlText string) (*Stmt, error) {
+	if err := db.exec.AdmitStatement(sqlText); err != nil {
+		return nil, err
+	}
 	ps, err := db.exec.Prepare(sqlText)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"shareddb/internal/core"
 	"shareddb/internal/storage"
 )
 
@@ -367,6 +368,13 @@ func TestConfigValidation(t *testing.T) {
 		{MaxInFlightGenerations: -2},
 		{Shards: -1},
 		{MaxBatch: -5},
+		{MaxGenerationDelay: -time.Millisecond},
+		{MaxGenerationDelay: 200 * time.Microsecond}, // non-zero but below timer resolution
+		{QueueDepthLimit: -1},
+		{StatementQuota: -3},
+		{BreakerStrikes: -1, MaxGenerationDelay: time.Millisecond},
+		{BreakerCooldown: -time.Second, MaxGenerationDelay: time.Millisecond},
+		{BreakerStrikes: 3}, // breaker without the SLO that drives it
 	}
 	for _, cfg := range cases {
 		if db, err := Open(cfg); err == nil {
@@ -374,12 +382,89 @@ func TestConfigValidation(t *testing.T) {
 			t.Errorf("Open(%+v) succeeded, want validation error", cfg)
 		}
 	}
-	// Zero still selects defaults.
-	db, err := Open(Config{})
-	if err != nil {
-		t.Fatalf("Open(zero config): %v", err)
+	// Zero still selects defaults; admission knobs at sane values open fine.
+	for _, cfg := range []Config{
+		{},
+		{MaxGenerationDelay: 5 * time.Millisecond, QueueDepthLimit: 100, StatementQuota: 50},
+	} {
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("Open(%+v): %v", cfg, err)
+		}
+		db.Close()
 	}
-	db.Close()
+}
+
+// TestOverloadSurfacesThroughPublicAPI: with a queue cap and a frozen
+// dispatch window, excess public-API queries fail fast with an error
+// matching errors.Is(err, ErrOverloaded) and carrying a typed retry hint —
+// on the single engine and on a sharded deployment alike.
+func TestOverloadSurfacesThroughPublicAPI(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		db, err := Open(Config{QueueDepthLimit: 2, Heartbeat: time.Second, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec("CREATE TABLE t (a INT, b VARCHAR, PRIMARY KEY (a))"); err != nil {
+			t.Fatal(err)
+		}
+		stmt, err := db.Prepare("SELECT b FROM t WHERE a > ?") // scatters on sharded runs
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First query dispatches immediately and starts the heartbeat
+		// window; the next two fill the queue; the fourth must be refused.
+		if _, err := stmt.Query(0); err != nil {
+			t.Fatal(err)
+		}
+		type outcome struct {
+			rows *Rows
+			err  error
+		}
+		results := make(chan outcome, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				rows, err := stmt.Query(0)
+				results <- outcome{rows, err}
+			}()
+		}
+		// Let the two queued queries enqueue before overflowing.
+		// admissionDepth sums per-shard queues and each scatter read
+		// enqueues on every shard, so the full-queue signature is
+		// 2 queries × max(shards, 1) depth entries.
+		wantDepth := 2
+		if shards > 1 {
+			wantDepth = 2 * shards
+		}
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for admissionDepth(db) < wantDepth && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		_, err = stmt.Query(0)
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("shards=%d: over-cap query got %v, want ErrOverloaded", shards, err)
+		}
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+			t.Fatalf("shards=%d: rejection must be typed with a retry hint, got %v", shards, err)
+		}
+		for i := 0; i < 2; i++ {
+			o := <-results
+			if o.err != nil {
+				t.Fatalf("shards=%d: queued query failed: %v", shards, o.err)
+			}
+		}
+		db.Close()
+	}
+}
+
+// admissionDepth reads the current queue depth from either backend.
+func admissionDepth(db *DB) int {
+	type admStats interface{ AdmissionStats() core.AdmissionStats }
+	if s, ok := db.Engine().(admStats); ok {
+		return s.AdmissionStats().QueueDepth
+	}
+	return 0
 }
 
 // TestShardedDB drives the public API against a 3-shard deployment: DDL
