@@ -43,6 +43,12 @@ type benchRecord struct {
 	P50Ns    float64 `json:"p50_ns,omitempty"`
 	P99Ns    float64 `json:"p99_ns,omitempty"`
 	ShedRate float64 `json:"shed_rate,omitempty"`
+
+	// Folding-scenario extras (absent elsewhere): the engine-work rate —
+	// which must stay constant between fold_zipf_off and fold_zipf_on —
+	// and the fraction of client queries served by fan-out.
+	GenPerSec   float64 `json:"generations_per_sec,omitempty"`
+	FoldHitRate float64 `json:"fold_hit_rate,omitempty"`
 }
 
 // benchReport is the file layout of BENCH_*.json.
@@ -198,6 +204,18 @@ func runJSONBench(opts experiments.Options) error {
 	}
 	report.Results = append(report.Results, ovRec)
 
+	// Folding scenario: the same Zipfian-duplicate workload with folding
+	// off then on. The trajectory quantity is the ratio of client-visible
+	// ops/sec at matching generations_per_sec — benchdiff excludes both
+	// records from the ns gate (wall-clock scenarios, not micro-ops).
+	for _, fold := range []bool{false, true} {
+		rec, err := benchFolding(opts, fold)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, rec)
+	}
+
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")
 	return out.Encode(report)
@@ -237,6 +255,54 @@ func benchOverload(opts experiments.Options) (benchRecord, error) {
 		Ops: int(res.Admitted), Unit: "admitted query",
 		NsPerOp: ns, OpsPerSec: ops, QueriesPerX: 1,
 		P50Ns: float64(res.P50), P99Ns: float64(res.P99), ShedRate: res.ShedRate(),
+	}, nil
+}
+
+// Folding scenario shape: many clients drawing the same statement's
+// parameter from a small Zipfian domain, against a statement quota well
+// below the client count and a heartbeat-pinned generation cadence. With
+// folding off the quota rations clients across generations; with folding
+// on the duplicates collapse into the quota'd leads and every client rides
+// every generation — client throughput multiplies at constant
+// generations/sec.
+const (
+	foldClients   = 64
+	foldDistinct  = 8
+	foldQuota     = 8
+	foldHeartbeat = 2 * time.Millisecond
+	foldWindow    = 1500 * time.Millisecond
+)
+
+// benchFolding runs the experiments.Folding scenario with folding off or
+// on and reports client-visible queries as the op.
+func benchFolding(opts experiments.Options, fold bool) (benchRecord, error) {
+	fOpts := opts
+	fOpts.Shards = 1 // folding ratio is per engine; the router fold path has its own tests
+	fOpts.StatementQuota = foldQuota
+	fOpts.MaxInFlightGenerations = 1
+	fOpts.Heartbeat = foldHeartbeat
+	fOpts.FoldQueries = fold
+	res, err := experiments.Folding(fOpts, foldClients, foldDistinct, foldWindow)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	qps := res.ClientQPS()
+	ns := 0.0
+	if qps > 0 {
+		ns = 1e9 / qps
+	}
+	name, state := "fold_zipf_off", "folding off"
+	if fold {
+		name, state = "fold_zipf_on", "folding on"
+	}
+	return benchRecord{
+		Name: name,
+		Description: fmt.Sprintf(
+			"%s: %d clients, Zipf over %d params, statement quota %d, heartbeat %v — client-visible queries/sec at constant generations/sec",
+			state, foldClients, foldDistinct, foldQuota, foldHeartbeat),
+		Ops: int(res.ClientQueries), Unit: "client query",
+		NsPerOp: ns, OpsPerSec: qps, QueriesPerX: 1,
+		GenPerSec: res.GenerationsPerSec(), FoldHitRate: res.FoldHitRate(),
 	}, nil
 }
 

@@ -13,9 +13,14 @@
 // port default matches the paper's Figure 5 example ("Output Network, TCP
 // Port 5843").
 //
+// Besides SQL, the protocol answers three verbs: EXPLAIN PLAN (the global
+// plan), STATS (engine counters as name<TAB>value rows, including the
+// -fold fan-out counters) and QUIT.
+//
 // Try it:
 //
 //	echo "CREATE TABLE t (a INT, PRIMARY KEY (a))" | nc localhost 5843
+//	echo "STATS" | nc localhost 5843
 package main
 
 import (
@@ -41,10 +46,13 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 0, "per-generation latency SLO; enables SLO batch sizing and the slow-query breaker (0 = off, minimum 1ms)")
 	queueLimit := flag.Int("queue-limit", 0, "max submissions queued per engine before BUSY rejections (0 = unlimited)")
 	stmtQuota := flag.Int("stmt-quota", 0, "max activations of one statement per generation; excess shed to later generations (0 = unlimited)")
+	fold := flag.Bool("fold", false, "collapse identical concurrent reads into one activation with a shared fan-out")
+	foldSubsume := flag.Bool("fold-subsume", false, "also serve equality restrictions from covering full scans (implies -fold semantics; requires -fold)")
 	flag.Parse()
 
 	cfg := shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers, Shards: *shards,
-		MaxGenerationDelay: *maxDelay, QueueDepthLimit: *queueLimit, StatementQuota: *stmtQuota}
+		MaxGenerationDelay: *maxDelay, QueueDepthLimit: *queueLimit, StatementQuota: *stmtQuota,
+		FoldQueries: *fold, FoldSubsume: *foldSubsume}
 	if *replicate != "" {
 		cfg.ReplicatedTables = strings.Split(*replicate, ",")
 	}
@@ -100,10 +108,39 @@ func serve(db *shareddb.DB, conn net.Conn) {
 			fmt.Fprintln(w, "OK")
 			w.Flush()
 			continue
+		case "STATS":
+			writeStats(w, db.Stats())
+			w.Flush()
+			continue
 		}
 		execute(db, w, line)
 		w.Flush()
 	}
+}
+
+// writeStats answers the STATS verb: one "name<TAB>value" line per counter,
+// terminated like a result set so existing clients can parse it.
+func writeStats(w *bufio.Writer, st shareddb.Stats) {
+	rows := []struct {
+		name  string
+		value interface{}
+	}{
+		{"generations", st.Generations},
+		{"queries_run", st.QueriesRun},
+		{"writes_applied", st.WritesApplied},
+		{"folded_queries", st.FoldedQueries},
+		{"subsumed_queries", st.SubsumedQueries},
+		{"fold_hit_rate", fmt.Sprintf("%.4f", st.FoldHitRate())},
+		{"in_flight_generations", st.InFlightGenerations},
+		{"queue_depth", st.QueueDepth},
+		{"shed", st.Shed},
+		{"rejected", st.Rejected},
+		{"breaker_trips", st.BreakerTrips},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\n", r.name, r.value)
+	}
+	fmt.Fprintf(w, "OK %d rows\n", len(rows))
 }
 
 // fail writes the error response: "BUSY <retry-ms> <reason>" for admission

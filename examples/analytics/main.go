@@ -112,7 +112,8 @@ func main() {
 	}
 report:
 	_ = start
-	gens, queries, writes := db.Engine().Stats()
+	st := db.Stats()
+	gens, queries, writes := st.Generations, st.QueriesRun, st.WritesApplied
 	fmt.Printf("dashboards refreshed %d times while %d rows streamed in\n",
 		refreshes.Load(), writes)
 	fmt.Printf("%d generations served %d queries (avg batch %.1f)\n",

@@ -81,7 +81,8 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	gens, queries, writes := db.Engine().Stats()
+	st := db.Stats()
+	gens, queries, writes := st.Generations, st.QueriesRun, st.WritesApplied
 	fmt.Printf("%d clients × 30 requests in %v\n", clients, elapsed.Round(time.Millisecond))
 	fmt.Printf("engine ran %d generations for %d queries + %d writes\n", gens, queries, writes)
 	fmt.Printf("→ average batch size %.1f (shared execution: one big join/sort per generation)\n",

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shareddb/internal/expr"
@@ -98,6 +99,20 @@ type Config struct {
 	// before a half-open probe is admitted (0 selects 8×MaxGenerationDelay;
 	// requires MaxGenerationDelay > 0).
 	BreakerCooldown time.Duration
+
+	// FoldQueries enables result folding: a read submission identical to a
+	// pending one (same SQL text, bit-identical parameters) attaches to the
+	// pending request's result instead of occupying its own queue slot and
+	// query-set activation. Folded submissions are charged once against
+	// QueueDepthLimit/StatementQuota and the cost EWMA — by their lead.
+	// Writes and transaction commits never fold. Disabled (false), the
+	// submission path is byte-identical to the pre-folding engine.
+	FoldQueries bool
+	// FoldSubsume additionally lets a pending parameter-free simple scan
+	// serve equality-restriction duplicates of itself via residual filters,
+	// where expression analysis proves the scan's output covers the
+	// duplicate's predicate and projection. Requires FoldQueries.
+	FoldSubsume bool
 }
 
 // Engine drives generations over a storage database and a global plan.
@@ -127,10 +142,19 @@ type Engine struct {
 	preparers    int // Prepare calls waiting for / holding plan quiescence
 	loopDone     chan struct{}
 
+	// Fold state, guarded by mu. The indexes cover exactly the foldable
+	// requests currently in pending (the fold window); both are rebuilt
+	// from the shed remainder after every batch formation. nil when
+	// Config.FoldQueries is off.
+	foldIdx    map[uint64][]*Request // fingerprint → pending fold leads
+	subsumeIdx map[string][]*Request // table → pending full-scan leads
+
 	// stats
 	generations uint64
 	queriesRun  uint64
 	writesRun   uint64
+	folded      uint64 // submissions folded into a pending duplicate
+	subsumed    uint64 // of those, served through a subsumption transform
 }
 
 // Request is one enqueued statement execution (or transaction commit).
@@ -140,6 +164,16 @@ type Request struct {
 	Tx     *storage.Tx // non-nil for transaction commits
 
 	Result *Result
+
+	// Fold state: fp is the fold fingerprint (computed once at Submit when
+	// foldable), fold the fan-out group duplicates have attached to (nil
+	// until the first fold), hooks the dispatch hooks to fire when this
+	// request's generation forms (SubmitHooked; folded requests transfer
+	// their hooks to the lead).
+	fp       uint64
+	foldable bool
+	fold     *Fanout
+	hooks    []func()
 }
 
 // Result is the client-visible outcome of a request. Wait blocks until the
@@ -156,6 +190,12 @@ type Result struct {
 	// post-write snapshot of its generation for reads, the published commit
 	// timestamp for writes.
 	SnapshotTS uint64
+
+	// fold is set on results subscribed to a fan-out group (they complete
+	// via Fanout.Complete, not a generation); abandoned marks a cancelled
+	// waiter whose queued request should vacate at the next batch formation.
+	fold      *Fanout
+	abandoned atomic.Bool
 
 	distinctSeen map[string]bool
 }
@@ -181,6 +221,12 @@ func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 	}
 	e.workers = par.Resolve(cfg.Workers)
 	e.adm = newAdmission(cfg)
+	if cfg.FoldQueries {
+		e.foldIdx = make(map[uint64][]*Request)
+		if cfg.FoldSubsume {
+			e.subsumeIdx = make(map[string][]*Request)
+		}
+	}
 	gp.SetWorkers(e.workers)
 	e.cond = sync.NewCond(&e.mu)
 	gp.Start()
@@ -221,15 +267,32 @@ func failRequests(reqs []*Request) {
 	for _, r := range reqs {
 		r.Result.Err = errors.New("core: engine closed")
 		close(r.Result.done)
+		if r.fold != nil {
+			r.fold.complete(r.Result)
+		}
 	}
 }
 
-// Stats reports engine counters: generations run, queries served, writes
-// applied.
-func (e *Engine) Stats() (generations, queries, writes uint64) {
+// Stats reports the engine's typed counter snapshot.
+func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.generations, e.queriesRun, e.writesRun
+	s := EngineStats{
+		Generations:     e.generations,
+		QueriesRun:      e.queriesRun,
+		WritesRun:       e.writesRun,
+		FoldedQueries:   e.folded,
+		SubsumedQueries: e.subsumed,
+		InFlight:        e.inFlight,
+		PeakInFlight:    e.peakInFlight,
+		Admission:       AdmissionStats{QueueDepth: len(e.pending) + e.reserved},
+	}
+	if e.adm != nil {
+		s.Admission.Shed = e.adm.shed
+		s.Admission.Rejected = e.adm.rejected
+		s.Admission.BreakerTrips = e.adm.trips
+	}
+	return s
 }
 
 // InFlightGenerations reports the pipeline gauge: how many generations are
@@ -251,20 +314,43 @@ func (e *Engine) Plan() *plan.GlobalPlan { return e.plan }
 // Submit enqueues a request for the next generation. With admission limits
 // configured the request may be rejected immediately: the Result completes
 // with a *OverloadError (errors.Is(err, ErrOverloaded)) without entering
-// the queue.
+// the queue. With FoldQueries on, a read identical to a pending one
+// returns a result subscribed to the pending request instead of queueing.
 func (e *Engine) Submit(stmt *plan.Statement, params []types.Value) *Result {
+	return e.submit(stmt, params, nil)
+}
+
+// SubmitHooked is Submit with a dispatch hook: fn runs on the dispatcher
+// goroutine right after the generation containing the request forms —
+// before the generation's writes apply or its read snapshot pins. When the
+// submission folds into a pending lead the hook transfers to the lead, so
+// it still fires when the generation that answers this submission
+// dispatches. The shard router uses the hook to close its cross-shard fold
+// window at the earliest shard's batch formation.
+func (e *Engine) SubmitHooked(stmt *plan.Statement, params []types.Value, fn func()) *Result {
+	return e.submit(stmt, params, fn)
+}
+
+func (e *Engine) submit(stmt *plan.Statement, params []types.Value, hook func()) *Result {
 	req := &Request{Stmt: stmt, Params: params, Result: &Result{done: make(chan struct{})}}
-	e.enqueue(req, false)
-	return req.Result
+	if e.foldIdx != nil && stmt != nil && !stmt.IsWrite() {
+		req.foldable = true
+		req.fp = FoldFingerprint(stmt.SQL, params)
+	}
+	if hook != nil {
+		req.hooks = append(req.hooks, hook)
+	}
+	return e.enqueue(req, false)
 }
 
 // SubmitReserved is Submit for a request whose admission was already
 // decided by AdmitReserve: it consumes one reservation and skips the
 // admission checks (the shard router's all-or-nothing broadcast path).
+// Reserved submissions never fold — the router reserves only for writes,
+// whose per-shard application must be real on every shard.
 func (e *Engine) SubmitReserved(stmt *plan.Statement, params []types.Value) *Result {
 	req := &Request{Stmt: stmt, Params: params, Result: &Result{done: make(chan struct{})}}
-	e.enqueue(req, true)
-	return req.Result
+	return e.enqueue(req, true)
 }
 
 // AdmitReserve runs the admission checks for one future submission and, on
@@ -343,8 +429,7 @@ func (e *Engine) SubmitTx(tx Tx) *Result {
 		return res
 	}
 	req := &Request{Tx: stx, Result: &Result{done: make(chan struct{})}}
-	e.enqueue(req, false)
-	return req.Result
+	return e.enqueue(req, false)
 }
 
 // SubmitTxReserved is SubmitTx consuming an AdmitReserve reservation (the
@@ -358,13 +443,15 @@ func (e *Engine) SubmitTxReserved(tx Tx) *Result {
 		return res
 	}
 	req := &Request{Tx: stx, Result: &Result{done: make(chan struct{})}}
-	e.enqueue(req, true)
-	return req.Result
+	return e.enqueue(req, true)
 }
 
 // enqueue admits (or, for the reserved path, consumes the reservation of)
-// one request and appends it to the pending queue.
-func (e *Engine) enqueue(req *Request, reserved bool) {
+// one request and appends it to the pending queue. Foldable requests first
+// try to collapse into a pending duplicate — a fold hit returns the
+// subscriber's result without touching admission or the queue (the lead
+// already paid for both).
+func (e *Engine) enqueue(req *Request, reserved bool) *Result {
 	e.mu.Lock()
 	if reserved && e.reserved > 0 {
 		e.reserved--
@@ -373,19 +460,78 @@ func (e *Engine) enqueue(req *Request, reserved bool) {
 		e.mu.Unlock()
 		req.Result.Err = errors.New("core: engine closed")
 		close(req.Result.done)
-		return
+		return req.Result
+	}
+	if req.foldable {
+		if res := e.tryFold(req); res != nil {
+			e.mu.Unlock()
+			return res
+		}
 	}
 	if !reserved && e.adm != nil {
 		if err := e.adm.admit(req.Stmt, len(e.pending)+e.reserved); err != nil {
 			e.mu.Unlock()
 			req.Result.Err = err
 			close(req.Result.done)
-			return
+			return req.Result
 		}
 	}
 	e.pending = append(e.pending, req)
+	if req.foldable {
+		e.indexFoldLead(req)
+	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	return req.Result
+}
+
+// tryFold collapses req into a pending identical (or, with FoldSubsume,
+// subsuming) lead. Called with e.mu held; returns the subscriber's result
+// on a hit, nil when req must queue as its own lead.
+func (e *Engine) tryFold(req *Request) *Result {
+	for _, lead := range e.foldIdx[req.fp] {
+		if lead.Stmt.SQL != req.Stmt.SQL || !IdenticalParams(lead.Params, req.Params) {
+			continue
+		}
+		if lead.fold == nil {
+			lead.fold = &Fanout{}
+		}
+		if !lead.fold.attach(req.Result, nil) {
+			continue
+		}
+		lead.hooks = append(lead.hooks, req.hooks...)
+		e.folded++
+		return req.Result
+	}
+	if e.subsumeIdx != nil && req.Stmt.FoldTable != "" && req.Stmt.FoldPred != nil {
+		for _, lead := range e.subsumeIdx[req.Stmt.FoldTable] {
+			tr := buildFoldTransform(lead.Stmt, req.Stmt, req.Params)
+			if tr == nil {
+				continue
+			}
+			if lead.fold == nil {
+				lead.fold = &Fanout{}
+			}
+			if !lead.fold.attach(req.Result, tr) {
+				continue
+			}
+			lead.hooks = append(lead.hooks, req.hooks...)
+			e.folded++
+			e.subsumed++
+			return req.Result
+		}
+	}
+	return nil
+}
+
+// indexFoldLead registers a newly queued foldable request as a fold target
+// (e.mu held). Parameter-free simple scans additionally become subsumption
+// leads.
+func (e *Engine) indexFoldLead(req *Request) {
+	e.foldIdx[req.fp] = append(e.foldIdx[req.fp], req)
+	if e.subsumeIdx != nil && req.Stmt.FoldTable != "" && req.Stmt.FoldPred == nil {
+		e.subsumeIdx[req.Stmt.FoldTable] = append(e.subsumeIdx[req.Stmt.FoldTable], req)
+	}
 }
 
 // loop is the heartbeat dispatcher: drain the queue, apply the generation's
@@ -424,6 +570,27 @@ func (e *Engine) loop() {
 			failRequests(pending)
 			return
 		}
+		// Cancelled submissions (Result.Abandon via the context API) vacate
+		// the queue here, before formation: they were never dispatched, so
+		// dropping them frees their queue-depth slot without touching any
+		// generation. A lead that acquired fold subscribers still runs —
+		// the subscribers need its result.
+		var dropped []*Request
+		for _, r := range e.pending {
+			if r.Result.abandoned.Load() && r.fold == nil {
+				dropped = append(dropped, r)
+			}
+		}
+		if dropped != nil {
+			kept := e.pending[:0]
+			for _, r := range e.pending {
+				if r.Result.abandoned.Load() && r.fold == nil {
+					continue
+				}
+				kept = append(kept, r)
+			}
+			e.pending = kept
+		}
 		batch := e.pending
 		if e.adm != nil {
 			// Admission-controlled batch formation: per-statement quotas
@@ -436,6 +603,21 @@ func (e *Engine) loop() {
 		} else {
 			e.pending = nil
 		}
+		// The fold window closes at batch formation: a drafted request's
+		// snapshot is about to pin, so it stops accepting subscribers.
+		// Shed requests stay foldable — a subscriber attached to a shed
+		// lead simply rides to the lead's later generation.
+		if e.foldIdx != nil {
+			clear(e.foldIdx)
+			if e.subsumeIdx != nil {
+				clear(e.subsumeIdx)
+			}
+			for _, r := range e.pending {
+				if r.foldable {
+					e.indexFoldLead(r)
+				}
+			}
+		}
 		e.gen++
 		gen := e.gen
 		e.generations++
@@ -445,6 +627,19 @@ func (e *Engine) loop() {
 		}
 		e.mu.Unlock()
 
+		for _, r := range dropped {
+			r.Result.Err = errRequestAbandoned
+			close(r.Result.done)
+		}
+		// Dispatch hooks fire after formation but before any of the
+		// generation's effects (write apply, snapshot pin) — the shard
+		// router's fold-window close point.
+		for _, r := range batch {
+			for _, h := range r.hooks {
+				h()
+			}
+			r.hooks = nil
+		}
 		lastStart = time.Now()
 		e.dispatchGeneration(gen, batch)
 		// Pipeline fairness: when read phases are in flight, yield the
@@ -680,6 +875,11 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 			for _, r := range readReqs {
 				r.Result.distinctSeen = nil
 				close(r.Result.done)
+				if r.fold != nil {
+					// Fan the lead's materialized result out to every
+					// folded subscriber at the same snapshot.
+					r.fold.complete(r.Result)
+				}
 			}
 		},
 	)

@@ -409,7 +409,8 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	gens, queries, writes := e.Stats()
+	st := e.Stats()
+	gens, queries, writes := st.Generations, st.QueriesRun, st.WritesRun
 	if queries != 300 || writes != 100 {
 		t.Errorf("stats: %d gens, %d queries, %d writes", gens, queries, writes)
 	}

@@ -31,9 +31,9 @@ type Executor interface {
 	// commit for the next generation.
 	BeginTx() Tx
 	SubmitTx(tx Tx) *Result
-	// Stats reports generations run, queries served and writes applied
-	// (summed across shards for the sharded backend).
-	Stats() (generations, queries, writes uint64)
+	// Stats reports the typed counter snapshot (summed across shards for
+	// the sharded backend — the in-flight gauges sum per-shard values).
+	Stats() EngineStats
 	// Workers reports the resolved intra-operator parallelism budget (per
 	// shard for the sharded backend).
 	Workers() int
@@ -54,6 +54,31 @@ var (
 	_ Executor = (*Engine)(nil)
 	_ Tx       = (*storage.Tx)(nil)
 )
+
+// EngineStats is the typed counter snapshot Executor.Stats returns. All
+// counters are cumulative since the engine started; InFlight and
+// QueueDepth (inside Admission) are gauges.
+type EngineStats struct {
+	// Generations is the number of generations dispatched.
+	Generations uint64
+	// QueriesRun counts read activations actually executed by the engine;
+	// folded duplicates are NOT included (they did no engine work).
+	QueriesRun uint64
+	// WritesRun counts applied write operations and transaction commits.
+	WritesRun uint64
+	// FoldedQueries counts read submissions served by fan-out from an
+	// identical (or subsuming) pending duplicate instead of executing.
+	FoldedQueries uint64
+	// SubsumedQueries is the subset of FoldedQueries served through a
+	// subsumption residual transform rather than an identical fingerprint.
+	SubsumedQueries uint64
+	// InFlight / PeakInFlight mirror InFlightGenerations.
+	InFlight     int
+	PeakInFlight int
+	// Admission carries the admission controller's counters (zero values
+	// when admission is disabled; QueueDepth is live regardless).
+	Admission AdmissionStats
+}
 
 // BeginTx opens a snapshot-isolated transaction on the engine's database.
 func (e *Engine) BeginTx() Tx { return e.db.Begin() }
@@ -105,9 +130,17 @@ func (c Config) Validate() error {
 	if (c.BreakerStrikes > 0 || c.BreakerCooldown > 0) && c.MaxGenerationDelay == 0 {
 		return fmt.Errorf("core: breaker knobs require MaxGenerationDelay > 0 (the SLO the slow-query breaker enforces)")
 	}
+	if c.FoldSubsume && !c.FoldQueries {
+		return fmt.Errorf("core: FoldSubsume requires FoldQueries (subsumption extends the fold index)")
+	}
 	return nil
 }
 
 // errNotStorageTx is returned when a foreign Tx implementation reaches the
 // single-node engine.
 var errNotStorageTx = errors.New("core: SubmitTx requires a transaction from this engine's BeginTx")
+
+// errRequestAbandoned completes results whose waiter cancelled before the
+// request was drafted into a generation (nobody is usually waiting — it
+// keeps a late Wait well-defined).
+var errRequestAbandoned = errors.New("core: request abandoned before dispatch")

@@ -224,7 +224,7 @@ func TestOverloadStatementQuotaSpreadsGenerations(t *testing.T) {
 	if err := e.Submit(s, []types.Value{types.NewString("ARTS")}).Wait(); err != nil {
 		t.Fatal(err)
 	}
-	gensBefore, _, _ := e.Stats()
+	gensBefore := e.Stats().Generations
 	const burst = 10
 	results := make([]*Result, burst)
 	for i := range results {
@@ -238,7 +238,7 @@ func TestOverloadStatementQuotaSpreadsGenerations(t *testing.T) {
 			t.Fatalf("burst query %d: %d rows, want 25", i, len(r.Rows))
 		}
 	}
-	gensAfter, _, _ := e.Stats()
+	gensAfter := e.Stats().Generations
 	if gens := gensAfter - gensBefore; gens < 3 {
 		t.Fatalf("a %d-burst over quota 4 needs >= 3 generations, got %d", burst, gens)
 	}

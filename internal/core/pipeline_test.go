@@ -77,7 +77,7 @@ func TestPipelinedGenerationsOverlap(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	gens, _, _ := e.Stats()
+	gens := e.Stats().Generations
 	_, peak := e.InFlightGenerations()
 	t.Logf("generations=%d peak in flight=%d", gens, peak)
 	if peak <= 1 {
@@ -236,7 +236,8 @@ func TestPipelinedDifferentialMixedLoad(t *testing.T) {
 		}
 	}
 
-	gens, queries, writes := e.Stats()
+	st := e.Stats()
+	gens, queries, writes := st.Generations, st.QueriesRun, st.WritesRun
 	_, peak := e.InFlightGenerations()
 	t.Logf("rounds=%d generations=%d queries=%d writes=%d peak in flight=%d", round, gens, queries, writes, peak)
 	if gens < 3 {

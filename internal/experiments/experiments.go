@@ -12,6 +12,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,16 +160,36 @@ type Options struct {
 	MaxGenerationDelay time.Duration // per-generation latency SLO
 	QueueDepthLimit    int           // submissions queued per engine before rejection
 	StatementQuota     int           // activations of one statement per generation
+
+	// Folding knobs (SharedDB only): collapse identical concurrent reads
+	// into one activation with a fan-out (FoldQueries), optionally serving
+	// equality restrictions from covering scans (FoldSubsume).
+	FoldQueries bool
+	FoldSubsume bool
+	// MaxInFlightGenerations pins the generation pipeline depth (0 = the
+	// engine default of 4). Folding scenarios run depth 1 so duplicates
+	// accumulate in the pending queue — the fold window — instead of being
+	// drained into overlapping generations immediately.
+	MaxInFlightGenerations int
+	// Heartbeat is the minimum spacing between generation starts (zero =
+	// redispatch immediately). Folding comparisons set it so the
+	// generation rate is cadence-bound and therefore identical with
+	// folding on or off — the constant-engine-work axis of the benchmark.
+	Heartbeat time.Duration
 }
 
 // coreConfig maps the Options onto the engine configuration shared by the
 // single-engine and sharded backends.
 func (o Options) coreConfig() core.Config {
 	return core.Config{
-		Workers:            o.Workers,
-		MaxGenerationDelay: o.MaxGenerationDelay,
-		QueueDepthLimit:    o.QueueDepthLimit,
-		StatementQuota:     o.StatementQuota,
+		Workers:                o.Workers,
+		MaxGenerationDelay:     o.MaxGenerationDelay,
+		QueueDepthLimit:        o.QueueDepthLimit,
+		StatementQuota:         o.StatementQuota,
+		FoldQueries:            o.FoldQueries,
+		FoldSubsume:            o.FoldSubsume,
+		MaxInFlightGenerations: o.MaxInFlightGenerations,
+		Heartbeat:              o.Heartbeat,
 	}
 }
 
@@ -525,6 +546,102 @@ func Overload(opts Options, queries, clients int) (*OverloadResult, error) {
 		Mean:     hist.Mean(),
 		Max:      hist.Max(),
 		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// FoldingResult is one Zipfian-repeat folding run: client-visible work
+// versus the engine work that served it.
+type FoldingResult struct {
+	ClientQueries int64         // queries answered to clients
+	Elapsed       time.Duration // measurement window
+	Generations   uint64        // engine generations dispatched
+	EngineQueries uint64        // read activations the engine executed
+	Folded        uint64        // reads served by fan-out instead
+	Shed          uint64        // activations deferred by the quota
+}
+
+// ClientQPS is client-visible queries per second.
+func (r *FoldingResult) ClientQPS() float64 { return float64(r.ClientQueries) / r.Elapsed.Seconds() }
+
+// GenerationsPerSec is the engine-work rate (the quantity folding must
+// hold constant while client throughput multiplies).
+func (r *FoldingResult) GenerationsPerSec() float64 {
+	return float64(r.Generations) / r.Elapsed.Seconds()
+}
+
+// FoldHitRate is the fraction of client queries served by folding.
+func (r *FoldingResult) FoldHitRate() float64 {
+	total := r.EngineQueries + r.Folded
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Folded) / float64(total)
+}
+
+// Folding drives the Zipfian-repeat scenario behind the headline folding
+// metric: clients closed-loop clients all issue the TPC-W title-search
+// statement with parameters Zipf-drawn from a small domain (distinct
+// values), so the same query-with-same-parameters arrives dozens of times
+// per generation. Options.StatementQuota bounds how many activations of
+// the statement one generation admits — the engine-work rate — so with
+// folding OFF the excess is shed to later generations (clients wait),
+// while with folding ON the duplicates collapse into the quota'd leads and
+// the whole client population rides each generation. Client-visible
+// queries/sec multiplies; generations/sec — work per unit time — stays
+// constant.
+func Folding(opts Options, clients, distinct int, window time.Duration) (*FoldingResult, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	env, err := NewEnvWithOptions(SharedDB, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	sys, ok := env.Sys.(*tpcw.SharedSystem)
+	if !ok {
+		return nil, fmt.Errorf("experiments: Folding needs a SharedDB system")
+	}
+
+	before := sys.Engine().Stats()
+	var done, failed int64
+	start := time.Now()
+	deadline := start.Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Zipf over the small parameter domain: skew concentrates the
+			// duplicates the way a popular-item workload does.
+			rng := rand.New(rand.NewSource(opts.Seed + int64(c)))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(distinct-1))
+			for time.Now().Before(deadline) {
+				title := fmt.Sprintf("Title %02d%%", zipf.Uint64())
+				if _, err := env.Sys.Query(tpcw.StDoTitleSearch, types.NewString(title)); err == nil {
+					atomic.AddInt64(&done, 1)
+				} else {
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failed > 0 {
+		return nil, fmt.Errorf("experiments: folding run had %d failures", failed)
+	}
+	after := sys.Engine().Stats()
+	return &FoldingResult{
+		ClientQueries: done,
+		Elapsed:       elapsed,
+		Generations:   after.Generations - before.Generations,
+		EngineQueries: after.QueriesRun - before.QueriesRun,
+		Folded:        after.FoldedQueries - before.FoldedQueries,
+		Shed:          after.Admission.Shed - before.Admission.Shed,
 	}, nil
 }
 

@@ -71,6 +71,13 @@ type compiled struct {
 	stream *streamInfo
 	steps  []stepBinding
 	edges  []*operators.Edge
+
+	// Fold provenance: set only by compileScan's shared-ClockScan branch
+	// (and deliberately NOT propagated through filters, joins, groups or
+	// sorts), so a non-empty foldTable at the plan root means "this whole
+	// statement is one clock scan of foldTable under foldPred".
+	foldTable string
+	foldPred  expr.Expr
 }
 
 // compileSelect peels the top of the logical plan (Distinct → Project →
@@ -124,6 +131,29 @@ func (p *GlobalPlan) compileSelect(s *Statement, lp sql.LogicalPlan) error {
 	s.terminalStream = c.stream.id
 	s.Project = proj.Exprs
 	s.OutSchema = proj.Out
+
+	// Fold metadata: a statement qualifies when it is exactly one shared
+	// ClockScan with a pure column projection and no DISTINCT/ORDER/LIMIT
+	// — then its result is the scanned rows, in clock order, filtered by
+	// the scan predicate and narrowed to FoldCols, which is the contract
+	// core's subsumption-lite folding builds residual transforms against.
+	if c.foldTable != "" && len(c.steps) == 1 && !s.Distinct && s.SinkLimit < 0 {
+		cols := make([]int, 0, len(proj.Exprs))
+		pure := true
+		for _, pe := range proj.Exprs {
+			cr, ok := pe.(*expr.ColRef)
+			if !ok {
+				pure = false
+				break
+			}
+			cols = append(cols, cr.Idx)
+		}
+		if pure {
+			s.FoldTable = c.foldTable
+			s.FoldPred = c.foldPred
+			s.FoldCols = cols
+		}
+	}
 	return nil
 }
 
@@ -275,7 +305,8 @@ func (p *GlobalPlan) compileScan(scan *sql.Scan) (compiled, error) {
 	step := stepBinding{node: src.node, makeSpec: func(params []types.Value) interface{} {
 		return operators.ScanSpec{Pred: expr.Bind(pred, params)}
 	}}
-	return compiled{node: src.node, stream: p.streams[src.stream], steps: []stepBinding{step}}, nil
+	return compiled{node: src.node, stream: p.streams[src.stream], steps: []stepBinding{step},
+		foldTable: scan.Table, foldPred: pred}, nil
 }
 
 func tableOrigins(t *storage.Table) []origin {

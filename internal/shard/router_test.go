@@ -227,7 +227,7 @@ func TestPointRouting(t *testing.T) {
 	var queries uint64
 	perShard := make([]uint64, 3)
 	for i, e := range r.Engines() {
-		_, q, _ := e.Stats()
+		q := e.Stats().QueriesRun
 		perShard[i] = q
 		queries += q
 	}
@@ -324,7 +324,7 @@ func TestReplicatedTable(t *testing.T) {
 	}
 	var shardsServing int
 	for _, e := range r.Engines() {
-		if _, q, _ := e.Stats(); q > 0 {
+		if q := e.Stats().QueriesRun; q > 0 {
 			shardsServing++
 		}
 	}

@@ -41,6 +41,7 @@
 package shareddb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -104,6 +105,20 @@ type Config struct {
 	// before a half-open probe is admitted (0 selects 8×MaxGenerationDelay;
 	// requires MaxGenerationDelay).
 	BreakerCooldown time.Duration
+	// FoldQueries enables result folding: concurrent reads with identical
+	// SQL text and bit-identical parameters that land in the same
+	// generation collapse to one engine activation whose result fans out
+	// to every caller. Folded reads are charged once against
+	// QueueDepthLimit/StatementQuota; writes and transaction operations
+	// never fold. See README "Result folding" for the fingerprint rules
+	// and the consistency argument. Off (false) keeps the submission path
+	// byte-identical to pre-folding behavior.
+	FoldQueries bool
+	// FoldSubsume additionally lets a pending parameter-free simple scan
+	// serve equality-restriction duplicates of itself through residual
+	// filters when expression analysis proves covering. Requires
+	// FoldQueries; rejected by Open otherwise.
+	FoldSubsume bool
 	// Shards splits the database into that many shard engines, each
 	// owning a hash partition (on primary key) of every table with its
 	// own always-on global plan and generation loop. A scatter-gather
@@ -153,6 +168,8 @@ func (c Config) coreConfig() core.Config {
 		StatementQuota:         c.StatementQuota,
 		BreakerStrikes:         c.BreakerStrikes,
 		BreakerCooldown:        c.BreakerCooldown,
+		FoldQueries:            c.FoldQueries,
+		FoldSubsume:            c.FoldSubsume,
 	}
 }
 
@@ -240,8 +257,70 @@ func (db *DB) Storage() *storage.Database { return db.stores[0] }
 func (db *DB) Storages() []*storage.Database { return db.stores }
 
 // Engine exposes the execution backend (statistics, transaction
-// submission): the single engine, or the shard router.
+// submission): the single engine, or the shard router. Prefer Stats for
+// observability — Engine remains for advanced integrations that submit
+// through core types directly.
 func (db *DB) Engine() core.Executor { return db.exec }
+
+// Stats is a point-in-time snapshot of the database's execution counters.
+// All counts are cumulative since Open and summed across shards; QueueDepth
+// and InFlightGenerations are live gauges.
+type Stats struct {
+	// Generations is the number of execution generations dispatched.
+	Generations uint64
+	// QueriesRun counts read activations the engine actually executed.
+	// Folded duplicates are excluded — they consumed no engine work.
+	QueriesRun uint64
+	// WritesApplied counts applied write statements and transaction
+	// commits.
+	WritesApplied uint64
+	// FoldedQueries counts reads answered by fan-out from an identical
+	// concurrent duplicate (Config.FoldQueries); SubsumedQueries is the
+	// subset served through a subsumption residual filter
+	// (Config.FoldSubsume).
+	FoldedQueries   uint64
+	SubsumedQueries uint64
+	// InFlightGenerations is the pipeline gauge: generations dispatched
+	// but not yet complete (summed across shards).
+	InFlightGenerations int
+	// QueueDepth is the number of submissions waiting for a generation
+	// (including reserved broadcast slots; summed across shards).
+	QueueDepth int
+	// Shed counts activations deferred to a later generation by
+	// StatementQuota or the latency-SLO batch cap; Rejected counts
+	// submissions refused outright (queue full, breaker open);
+	// BreakerTrips counts slow-query quarantines.
+	Shed         uint64
+	Rejected     uint64
+	BreakerTrips uint64
+}
+
+// FoldHitRate is the fraction of client-visible reads served by folding:
+// FoldedQueries / (QueriesRun + FoldedQueries). Zero when no reads ran.
+func (s Stats) FoldHitRate() float64 {
+	total := s.QueriesRun + s.FoldedQueries
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FoldedQueries) / float64(total)
+}
+
+// Stats returns the database's typed execution counters.
+func (db *DB) Stats() Stats {
+	es := db.exec.Stats()
+	return Stats{
+		Generations:         es.Generations,
+		QueriesRun:          es.QueriesRun,
+		WritesApplied:       es.WritesRun,
+		FoldedQueries:       es.FoldedQueries,
+		SubsumedQueries:     es.SubsumedQueries,
+		InFlightGenerations: es.InFlight,
+		QueueDepth:          es.Admission.QueueDepth,
+		Shed:                es.Admission.Shed,
+		Rejected:            es.Admission.Rejected,
+		BreakerTrips:        es.Admission.BreakerTrips,
+	}
+}
 
 // DescribePlan renders the current global operator plan (shard 0's plan on
 // sharded deployments — all shards compile the same statements).
@@ -259,23 +338,10 @@ type Result struct {
 
 // Exec runs a statement outside the prepared path. DDL (CREATE TABLE /
 // CREATE INDEX) applies immediately; reads and writes are enqueued for the
-// next generation and waited on.
+// next generation and waited on. It is ExecContext with
+// context.Background().
 func (db *DB) Exec(sqlText string, args ...interface{}) (Result, error) {
-	ast, err := sql.Parse(sqlText)
-	if err != nil {
-		return Result{}, err
-	}
-	switch s := ast.(type) {
-	case *sql.CreateTableStmt:
-		return Result{}, db.createTable(s)
-	case *sql.CreateIndexStmt:
-		return Result{}, db.createIndex(s)
-	}
-	stmt, err := db.Prepare(sqlText)
-	if err != nil {
-		return Result{}, err
-	}
-	return stmt.Exec(args...)
+	return db.ExecContext(context.Background(), sqlText, args...)
 }
 
 // createTable applies DDL to every shard (tables exist on all partitions;
@@ -346,45 +412,37 @@ func (db *DB) Prepare(sqlText string) (*Stmt, error) {
 func (s *Stmt) SQL() string { return s.stmt.SQL }
 
 // Query enqueues a read for the next generation and blocks for its results.
+// It is QueryContext with context.Background().
 func (s *Stmt) Query(args ...interface{}) (*Rows, error) {
-	if s.stmt.IsWrite() {
-		return nil, errors.New("shareddb: Query on a write statement")
-	}
-	params, err := toValues(args)
-	if err != nil {
-		return nil, err
-	}
-	res := s.db.exec.Submit(s.stmt, params)
-	if err := res.Wait(); err != nil {
-		return nil, err
-	}
-	return &Rows{schema: res.Schema, rows: res.Rows, pos: -1}, nil
+	return s.QueryContext(context.Background(), args...)
 }
 
 // Exec enqueues a write for the next generation and blocks for its outcome.
+// It is ExecContext with context.Background().
 func (s *Stmt) Exec(args ...interface{}) (Result, error) {
-	params, err := toValues(args)
-	if err != nil {
-		return Result{}, err
-	}
-	res := s.db.exec.Submit(s.stmt, params)
-	if err := res.Wait(); err != nil {
-		return Result{}, err
-	}
-	return Result{RowsAffected: res.RowsAffected}, nil
+	return s.ExecContext(context.Background(), args...)
 }
 
 // Query is the ad-hoc path: the statement joins the global plan (sharing
-// whatever operators match) and runs once.
+// whatever operators match) and runs once. It is QueryContext with
+// context.Background().
 func (db *DB) Query(sqlText string, args ...interface{}) (*Rows, error) {
-	stmt, err := db.Prepare(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	return stmt.Query(args...)
+	return db.QueryContext(context.Background(), sqlText, args...)
 }
 
 // Rows is a materialized, iterable result set.
+//
+// The materialized-result contract: the generation that served the query
+// has already completed by the time Query returns, so Rows holds the full
+// result in memory — iteration never blocks, never fails, and Len is known
+// up front. Err and Close exist for database/sql-shaped callers (loops
+// ending in rows.Err(), deferred rows.Close()): Err always returns nil and
+// Close only releases the reference, because there is no cursor to fail or
+// connection to return.
+//
+// Rows are read-only. With Config.FoldQueries, callers that issued
+// identical queries receive results backed by the same row storage —
+// mutating a row through Row or All would corrupt another caller's result.
 type Rows struct {
 	schema *types.Schema
 	rows   []types.Row
@@ -417,11 +475,30 @@ func (r *Rows) Row() types.Row {
 	return r.rows[r.pos]
 }
 
-// All returns every row.
+// All returns every row. The returned rows are shared, read-only storage
+// (see the type comment); copy before mutating.
 func (r *Rows) All() []types.Row { return r.rows }
 
+// Err reports the error, if any, encountered during iteration. Results are
+// fully materialized before Query returns (execution errors surface from
+// Query itself), so Err always returns nil; it exists so database/sql-style
+// loops port without edits.
+func (r *Rows) Err() error { return nil }
+
+// Close releases the result set's row storage reference. It is never
+// required — there is no cursor or connection behind Rows — but it is safe
+// to defer in database/sql style; subsequent Next/Row calls return no rows.
+func (r *Rows) Close() error {
+	r.rows = nil
+	r.pos = -1
+	return nil
+}
+
 // Scan copies the current row into dest pointers (*int64, *int, *float64,
-// *string, *bool, *time.Time or *types.Value).
+// *string, *bool, *time.Time or *types.Value). Destinations bind to the
+// row's leading columns: Scan errors when given more destinations than the
+// row has columns, while trailing row columns beyond len(dest) are simply
+// not scanned (handy with SELECT * when only a prefix matters).
 func (r *Rows) Scan(dest ...interface{}) error {
 	row := r.Row()
 	if row == nil {
@@ -471,8 +548,19 @@ func (db *DB) Begin() *Tx {
 	return &Tx{db: db, tx: db.exec.BeginTx()}
 }
 
-// Exec buffers a write statement in the transaction.
+// Exec buffers a write statement in the transaction. It is ExecContext
+// with context.Background().
 func (tx *Tx) Exec(sqlText string, args ...interface{}) error {
+	return tx.ExecContext(context.Background(), sqlText, args...)
+}
+
+// ExecContext buffers a write statement in the transaction. Buffering is
+// local (no generation is involved until Commit), so ctx only gates entry:
+// an already-cancelled context fails fast without buffering.
+func (tx *Tx) ExecContext(ctx context.Context, sqlText string, args ...interface{}) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if tx.done {
 		return storage.ErrTxDone
 	}
@@ -508,13 +596,26 @@ func (tx *Tx) Exec(sqlText string, args ...interface{}) error {
 }
 
 // Commit submits the transaction to the next generation's update batch and
-// waits. Snapshot-isolation conflicts surface as storage.ErrConflict.
+// waits. Snapshot-isolation conflicts surface as storage.ErrConflict. It is
+// CommitContext with context.Background().
 func (tx *Tx) Commit() error {
+	return tx.CommitContext(context.Background())
+}
+
+// CommitContext is Commit with cancellation: on ctx expiry the wait is
+// abandoned and ctx.Err() returned, but the commit itself is NOT undone —
+// it was already submitted and will apply (or conflict) in its generation,
+// exactly as if the cancellation had arrived a moment later. Callers that
+// must know the outcome should not cancel a commit wait.
+func (tx *Tx) CommitContext(ctx context.Context) error {
 	if tx.done {
 		return storage.ErrTxDone
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	tx.done = true
-	return tx.db.exec.SubmitTx(tx.tx).Wait()
+	return awaitResult(ctx, tx.db.exec.SubmitTx(tx.tx))
 }
 
 // Rollback abandons the transaction.

@@ -182,7 +182,8 @@ func TestConcurrentClients(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	gens, queries, _ := db.Engine().Stats()
+	st := db.Stats()
+	gens, queries := st.Generations, st.QueriesRun
 	if queries != 320 {
 		t.Errorf("queries = %d", queries)
 	}
@@ -585,7 +586,8 @@ func TestShardedStatsAndDescribe(t *testing.T) {
 	if _, err := db.Query(`SELECT a FROM t`); err != nil {
 		t.Fatal(err)
 	}
-	_, queries, writes := db.Engine().Stats()
+	st := db.Stats()
+	queries, writes := st.QueriesRun, st.WritesApplied
 	if writes == 0 || queries == 0 {
 		t.Fatalf("stats empty: queries=%d writes=%d", queries, writes)
 	}
