@@ -13,9 +13,22 @@
 // port default matches the paper's Figure 5 example ("Output Network, TCP
 // Port 5843").
 //
-// Besides SQL, the protocol answers three verbs: EXPLAIN PLAN (the global
+// Besides SQL, the protocol answers these verbs: EXPLAIN PLAN (the global
 // plan), STATS (engine counters as name<TAB>value rows, including the
-// -fold fan-out counters) and QUIT.
+// -fold fan-out counters), SUB/UNSUB (standing queries) and QUIT.
+//
+// SUB <select> registers the statement as a standing query and answers
+// "OK SUB <id>". From then on the server pushes asynchronous frames on the
+// connection whenever a generation changes the result:
+//
+//	!SUB <id> <gen> FULL <n>     followed by n tab-separated rows
+//	!SUB <id> <gen> DELTA <a> <r>  followed by a "+"-prefixed added rows
+//	                               and r "-"-prefixed removed rows
+//
+// Frames start with "!" so clients can separate them from statement
+// responses; a frame is never interleaved inside another response. UNSUB
+// <id> detaches the standing query. All subscriptions close with the
+// connection.
 //
 // Try it:
 //
@@ -25,14 +38,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 	"strings"
+	"sync"
 
 	"shareddb"
+	"shareddb/internal/types"
 )
 
 func main() {
@@ -87,35 +104,127 @@ func main() {
 	}
 }
 
+// connState is one client connection: its buffered writer (shared between
+// the serve loop and subscription pusher goroutines, so every complete
+// frame is written under mu) and its open standing queries.
+type connState struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	subs   map[uint64]*shareddb.Subscription
+	nextID uint64
+}
+
 func serve(db *shareddb.DB, conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
+	cs := &connState{w: bufio.NewWriter(conn), subs: map[uint64]*shareddb.Subscription{}}
+	defer func() {
+		cs.mu.Lock()
+		for _, sub := range cs.subs {
+			sub.Close()
+		}
+		cs.w.Flush()
+		cs.mu.Unlock()
+	}()
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		switch strings.ToUpper(line) {
-		case "QUIT", "EXIT":
+		upper := strings.ToUpper(line)
+		cs.mu.Lock()
+		w := cs.w
+		switch {
+		case upper == "QUIT" || upper == "EXIT":
 			fmt.Fprintln(w, "BYE")
 			w.Flush()
+			cs.mu.Unlock()
 			return
-		case "EXPLAIN PLAN":
+		case upper == "EXPLAIN PLAN":
 			fmt.Fprint(w, db.DescribePlan())
 			fmt.Fprintln(w, "OK")
-			w.Flush()
-			continue
-		case "STATS":
+		case upper == "STATS":
 			writeStats(w, db.Stats())
-			w.Flush()
-			continue
+		case strings.HasPrefix(upper, "SUB "):
+			subscribe(db, cs, strings.TrimSpace(line[4:]))
+		case strings.HasPrefix(upper, "UNSUB "):
+			unsubscribe(cs, strings.TrimSpace(line[6:]))
+		default:
+			execute(db, w, line)
 		}
-		execute(db, w, line)
 		w.Flush()
+		cs.mu.Unlock()
 	}
+}
+
+// subscribe answers the SUB verb. Caller holds cs.mu.
+func subscribe(db *shareddb.DB, cs *connState, sqlText string) {
+	stmt, err := db.Prepare(sqlText)
+	if err != nil {
+		fail(cs.w, err)
+		return
+	}
+	sub, err := db.Subscribe(context.Background(), stmt)
+	if err != nil {
+		fail(cs.w, err)
+		return
+	}
+	cs.nextID++
+	id := cs.nextID
+	cs.subs[id] = sub
+	fmt.Fprintf(cs.w, "OK SUB %d\n", id)
+	go pushUpdates(cs, id, sub)
+}
+
+// unsubscribe answers the UNSUB verb. Caller holds cs.mu.
+func unsubscribe(cs *connState, arg string) {
+	id, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		fmt.Fprintf(cs.w, "ERR bad subscription id %q\n", arg)
+		return
+	}
+	sub, ok := cs.subs[id]
+	if !ok {
+		fmt.Fprintf(cs.w, "ERR no subscription %d\n", id)
+		return
+	}
+	sub.Close()
+	delete(cs.subs, id)
+	fmt.Fprintf(cs.w, "OK UNSUB %d\n", id)
+}
+
+// pushUpdates streams one subscription's updates as asynchronous "!SUB"
+// frames; it exits when the subscription closes (UNSUB, connection end or
+// database shutdown).
+func pushUpdates(cs *connState, id uint64, sub *shareddb.Subscription) {
+	for u := range sub.Updates() {
+		cs.mu.Lock()
+		if u.Full {
+			fmt.Fprintf(cs.w, "!SUB %d %d FULL %d\n", id, u.Gen, len(u.Rows))
+			for _, row := range u.Rows {
+				fmt.Fprintln(cs.w, rowCells(row))
+			}
+		} else {
+			fmt.Fprintf(cs.w, "!SUB %d %d DELTA %d %d\n", id, u.Gen, len(u.Added), len(u.Removed))
+			for _, row := range u.Added {
+				fmt.Fprintf(cs.w, "+%s\n", rowCells(row))
+			}
+			for _, row := range u.Removed {
+				fmt.Fprintf(cs.w, "-%s\n", rowCells(row))
+			}
+		}
+		cs.w.Flush()
+		cs.mu.Unlock()
+	}
+}
+
+func rowCells(row types.Row) string {
+	cells := make([]string, len(row))
+	for i, v := range row {
+		cells[i] = v.String()
+	}
+	return strings.Join(cells, "\t")
 }
 
 // writeStats answers the STATS verb: one "name<TAB>value" line per counter,
@@ -136,6 +245,8 @@ func writeStats(w *bufio.Writer, st shareddb.Stats) {
 		{"shed", st.Shed},
 		{"rejected", st.Rejected},
 		{"breaker_trips", st.BreakerTrips},
+		{"subscriptions_active", st.SubscriptionsActive},
+		{"subscription_updates", st.SubscriptionUpdates},
 	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%v\n", r.name, r.value)

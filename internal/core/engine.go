@@ -113,6 +113,23 @@ type Config struct {
 	// where expression analysis proves the scan's output covers the
 	// duplicate's predicate and projection. Requires FoldQueries.
 	FoldSubsume bool
+
+	// IncrementalState turns stateful operator inputs into maintained node
+	// state: hash-join build sides and group-by aggregate tables fed by a
+	// direct base-table scan persist across generations and are updated in
+	// place from each generation's write delta (exact, thanks to the
+	// generation barrier) instead of being rebuilt from the scan stream.
+	// Reuse requires the covering queries and parameters to repeat between
+	// generations (standing queries and repeated prepared reads); anything
+	// else reprimes from the table. Disabled (false), the dispatch path is
+	// byte-identical to the delta-free engine.
+	IncrementalState bool
+	// SubscriptionBuffer is the per-subscription update channel capacity
+	// (0 selects DefaultSubscriptionBuffer). A subscriber that falls more
+	// than a full buffer behind is marked lagged and receives a full resync
+	// as its next delivery; generations never block on slow subscribers.
+	// Negative values are rejected by Config.Validate.
+	SubscriptionBuffer int
 }
 
 // Engine drives generations over a storage database and a global plan.
@@ -149,12 +166,29 @@ type Engine struct {
 	foldIdx    map[uint64][]*Request // fingerprint → pending fold leads
 	subsumeIdx map[string][]*Request // table → pending full-scan leads
 
+	// Standing queries, guarded by mu. subsKick forces a generation even
+	// with an empty request queue so a fresh subscription gets its initial
+	// full result.
+	subs     []*Subscription
+	subsKick bool
+
+	// Incremental-state delta chain, touched only on the dispatcher
+	// goroutine (write phases serialize there): the write records
+	// accumulated since the last delivered delta, the snapshot that delta
+	// brought operator state up to, and whether that snapshot holds a GC
+	// pin (it must — delta classification reads row visibility at FromTS,
+	// so those versions may not be truncated between generations).
+	incFromTS  uint64
+	incTouched []storage.WALRecord
+	incPinned  bool
+
 	// stats
 	generations uint64
 	queriesRun  uint64
 	writesRun   uint64
 	folded      uint64 // submissions folded into a pending duplicate
 	subsumed    uint64 // of those, served through a subsumption transform
+	subUpdates  uint64 // subscription updates handed to subscribers
 }
 
 // Request is one enqueued statement execution (or transaction commit).
@@ -259,7 +293,18 @@ func (e *Engine) Close() {
 	for e.inFlight > 0 || e.preparers > 0 {
 		e.cond.Wait()
 	}
+	subs := e.subs
+	e.subs = nil
 	e.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+	// The loop has exited and all generations drained, so the dispatcher-
+	// goroutine delta-chain fields are quiescent: release the chain pin.
+	if e.incPinned {
+		e.db.UnpinSnapshot(e.incFromTS)
+		e.incPinned = false
+	}
 	e.plan.Stop()
 }
 
@@ -277,15 +322,23 @@ func failRequests(reqs []*Request) {
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	active := 0
+	for _, sub := range e.subs {
+		if !sub.isClosed() {
+			active++
+		}
+	}
 	s := EngineStats{
-		Generations:     e.generations,
-		QueriesRun:      e.queriesRun,
-		WritesRun:       e.writesRun,
-		FoldedQueries:   e.folded,
-		SubsumedQueries: e.subsumed,
-		InFlight:        e.inFlight,
-		PeakInFlight:    e.peakInFlight,
-		Admission:       AdmissionStats{QueueDepth: len(e.pending) + e.reserved},
+		Generations:         e.generations,
+		QueriesRun:          e.queriesRun,
+		WritesRun:           e.writesRun,
+		FoldedQueries:       e.folded,
+		SubsumedQueries:     e.subsumed,
+		SubscriptionsActive: active,
+		SubscriptionUpdates: e.subUpdates,
+		InFlight:            e.inFlight,
+		PeakInFlight:        e.peakInFlight,
+		Admission:           AdmissionStats{QueueDepth: len(e.pending) + e.reserved},
 	}
 	if e.adm != nil {
 		s.Admission.Shed = e.adm.shed
@@ -544,7 +597,7 @@ func (e *Engine) loop() {
 	for {
 		e.mu.Lock()
 		for {
-			for !e.stopped && (len(e.pending) == 0 || e.inFlight >= e.maxInFlight || e.preparers > 0) {
+			for !e.stopped && ((len(e.pending) == 0 && !e.subsKick) || e.inFlight >= e.maxInFlight || e.preparers > 0) {
 				e.cond.Wait()
 			}
 			if e.stopped {
@@ -618,6 +671,8 @@ func (e *Engine) loop() {
 				}
 			}
 		}
+		e.subsKick = false
+		subs := e.activeSubsLocked()
 		e.gen++
 		gen := e.gen
 		e.generations++
@@ -641,7 +696,7 @@ func (e *Engine) loop() {
 			r.hooks = nil
 		}
 		lastStart = time.Now()
-		e.dispatchGeneration(gen, batch)
+		e.dispatchGeneration(gen, batch, subs)
 		// Pipeline fairness: when read phases are in flight, yield the
 		// processor before forming the next generation so operator
 		// goroutines get scheduled promptly. This is load-bearing on
@@ -716,8 +771,11 @@ func (e *Engine) prepare(sqlText string, ast sql.Statement) (*plan.Statement, er
 // dispatchGeneration runs one batch of queries and updates. The write phase
 // executes synchronously on the dispatcher goroutine — generation order IS
 // write order. The read phase is launched into the plan and completes
-// asynchronously; generationDone retires the generation.
-func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
+// asynchronously; generationDone retires the generation. subs are the
+// generation's standing queries: they activate with the leading dense query
+// ids (stable across generations while the subscription set is stable) and
+// force a read phase even for write-only batches.
+func (e *Engine) dispatchGeneration(gen uint64, batch []*Request, subs []*Subscription) {
 	// Admission feedback needs the generation's cycle time (dispatch start
 	// to read-phase completion); only measured when admission is on.
 	var admStart time.Time
@@ -756,9 +814,17 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 	// a client returning from Result.Wait must observe its own work in
 	// Stats()/InFlightGenerations(). For a write-only generation the last
 	// completion below also retires the generation before notifying.
-	hasReads := len(readReqs) > 0
+	hasReads := len(readReqs) > 0 || len(subs) > 0
 	if len(writeOps) > 0 {
-		results, commitTS := e.db.ApplyOps(writeOps)
+		var results []storage.OpResult
+		var commitTS uint64
+		if e.cfg.IncrementalState {
+			var recs []storage.WALRecord
+			results, commitTS, recs = e.db.ApplyOpsRecorded(writeOps)
+			e.incTouched = append(e.incTouched, recs...)
+		} else {
+			results, commitTS = e.db.ApplyOps(writeOps)
+		}
 		e.mu.Lock()
 		e.writesRun += uint64(len(writeOps))
 		e.mu.Unlock()
@@ -773,7 +839,15 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 		}
 	}
 	if len(txs) > 0 {
-		commitTS, errs := e.db.CommitTxBatch(txs)
+		var commitTS uint64
+		var errs []error
+		if e.cfg.IncrementalState {
+			var recs []storage.WALRecord
+			commitTS, errs, recs = e.db.CommitTxBatchRecorded(txs)
+			e.incTouched = append(e.incTouched, recs...)
+		} else {
+			commitTS, errs = e.db.CommitTxBatch(txs)
+		}
 		e.mu.Lock()
 		e.writesRun += uint64(len(txs))
 		e.mu.Unlock()
@@ -805,6 +879,22 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 		return
 	}
 	ts := e.db.PinCurrentSnapshot()
+	// The generation's write delta for incremental node state: everything
+	// committed since the last delivered delta, classified at [incFromTS,
+	// ts]. The previous FromTS keeps a dedicated GC pin so the versions the
+	// classification reads are still there; the pin rolls forward to ts. A
+	// nil delta (IncrementalState off) keeps RunGeneration byte-identical
+	// to the delta-free engine.
+	var delta *storage.Delta
+	if e.cfg.IncrementalState {
+		delta = e.db.BuildDelta(e.incFromTS, ts, e.incTouched)
+		e.incTouched = nil
+		chain := e.db.PinCurrentSnapshot() // == ts: writes serialize on this goroutine
+		if e.incPinned {
+			e.db.UnpinSnapshot(e.incFromTS)
+		}
+		e.incFromTS, e.incPinned = chain, true
+	}
 	// The breaker blames generations, not operators: collect the distinct
 	// read statements so the completion callback can strike (or reset)
 	// each one against the observed cycle time. Distinctness is by SQL
@@ -820,17 +910,27 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 			}
 		}
 	}
-	acts := make([]plan.Activation, len(readReqs))
+	// Standing queries take the leading dense query ids (1..len(subs), in
+	// registration order — stable while the subscription set is stable, so
+	// incremental node state keyed on them can be reused), then the batch's
+	// reads. With no subscriptions the numbering is unchanged.
+	nsubs := len(subs)
+	acts := make([]plan.Activation, 0, nsubs+len(readReqs))
+	subCols := make([]*subCollector, nsubs)
+	for i, s := range subs {
+		acts = append(acts, plan.Activation{QID: queryset.QueryID(i + 1), Stmt: s.stmt, Params: s.params})
+		subCols[i] = &subCollector{sub: s}
+	}
 	byQID := make(map[queryset.QueryID]*Request, len(readReqs))
 	for i, r := range readReqs {
-		qid := queryset.QueryID(i + 1) // generation-scoped ids keep sets small
-		acts[i] = plan.Activation{QID: qid, Stmt: r.Stmt, Params: r.Params}
+		qid := queryset.QueryID(nsubs + i + 1) // generation-scoped ids keep sets small
+		acts = append(acts, plan.Activation{QID: qid, Stmt: r.Stmt, Params: r.Params})
 		byQID[qid] = r
 		r.Result.Schema = r.Stmt.OutSchema
 		r.Result.SnapshotTS = ts
 	}
 
-	e.plan.RunGeneration(gen, ts, acts,
+	e.plan.RunGeneration(gen, ts, acts, delta,
 		func(stream int, t operators.Tuple) {
 			// Sink callback: runs on the sink goroutine only (one sink cycle
 			// at a time, even with generations in flight), so per-request
@@ -838,6 +938,29 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 			// projection, DISTINCT and LIMIT (the per-query tail of the
 			// shared plan).
 			for _, qid := range t.QS.IDs() {
+				if int(qid) <= nsubs {
+					sc := subCols[qid-1]
+					stmt := sc.sub.stmt
+					if stmt.SinkLimit >= 0 && len(sc.rows) >= stmt.SinkLimit {
+						continue
+					}
+					row := make(types.Row, len(stmt.Project))
+					for i, pe := range stmt.Project {
+						row[i] = pe.Eval(t.Row, sc.sub.params)
+					}
+					if stmt.Distinct {
+						if sc.distinctSeen == nil {
+							sc.distinctSeen = map[string]bool{}
+						}
+						k := types.EncodeKey(row...)
+						if sc.distinctSeen[k] {
+							continue
+						}
+						sc.distinctSeen[k] = true
+					}
+					sc.rows = append(sc.rows, row)
+					continue
+				}
 				r := byQID[qid]
 				if r == nil {
 					continue
@@ -865,8 +988,18 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request) {
 		},
 		func() {
 			e.db.UnpinSnapshot(ts)
+			// Subscription deliveries happen on the sink goroutine in
+			// generation order (the per-subscription diff state depends on
+			// it); a full subscriber channel marks it lagged, never blocks.
+			var delivered uint64
+			for _, sc := range subCols {
+				if sc.sub.deliver(gen, ts, sc.rows) {
+					delivered++
+				}
+			}
 			e.mu.Lock()
 			e.queriesRun += uint64(len(readReqs))
+			e.subUpdates += delivered
 			if e.adm != nil {
 				e.adm.recordGeneration(admStmts, time.Since(admStart), len(batch))
 			}

@@ -27,6 +27,11 @@ type Executor interface {
 	// Prepare's pipeline quiesce. Always nil when admission is disabled.
 	AdmitStatement(sqlText string) error
 	Submit(stmt *plan.Statement, params []types.Value) *Result
+	// Subscribe registers stmt as a standing query: an initial full result
+	// followed by per-generation added/removed deltas on the returned
+	// subscription's Updates channel. The sharded backend merges per-shard
+	// feeds in generation order.
+	Subscribe(stmt *plan.Statement, params []types.Value) (*Subscription, error)
 	// BeginTx opens a buffered write transaction; SubmitTx enqueues its
 	// commit for the next generation.
 	BeginTx() Tx
@@ -72,6 +77,13 @@ type EngineStats struct {
 	// SubsumedQueries is the subset of FoldedQueries served through a
 	// subsumption residual transform rather than an identical fingerprint.
 	SubsumedQueries uint64
+	// SubscriptionsActive is the gauge of open standing queries (summed
+	// across shards for the sharded backend).
+	SubscriptionsActive int
+	// SubscriptionUpdates counts updates handed to subscribers (initial
+	// full results, deltas and lag resyncs; dropped-and-lagged deliveries
+	// are not included).
+	SubscriptionUpdates uint64
 	// InFlight / PeakInFlight mirror InFlightGenerations.
 	InFlight     int
 	PeakInFlight int
@@ -102,8 +114,15 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d (0 = GOMAXPROCS, 1 = serial)", c.Workers)
 	}
+	if c.IncrementalState && c.MaxInFlightGenerations < 0 {
+		return fmt.Errorf("core: IncrementalState requires MaxInFlightGenerations >= 1, got %d (the delta chain needs a real pipeline depth; 0 selects the default %d)",
+			c.MaxInFlightGenerations, DefaultMaxInFlightGenerations)
+	}
 	if c.MaxInFlightGenerations < 0 {
 		return fmt.Errorf("core: MaxInFlightGenerations must be >= 0, got %d (0 = engine default, 1 = serial)", c.MaxInFlightGenerations)
+	}
+	if c.SubscriptionBuffer < 0 {
+		return fmt.Errorf("core: SubscriptionBuffer must be >= 0, got %d (0 = default %d)", c.SubscriptionBuffer, DefaultSubscriptionBuffer)
 	}
 	if c.MaxBatch < 0 {
 		return fmt.Errorf("core: MaxBatch must be >= 0, got %d (0 = unlimited)", c.MaxBatch)

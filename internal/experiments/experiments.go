@@ -492,8 +492,24 @@ func (r *OverloadResult) ShedRate() float64 {
 // percentiles plus the shed rate. The claim under test is the flip side of
 // Fig10/Fig11: with a queue cap and a latency SLO, overload shows up as
 // fast typed rejections and bounded admitted latency, not as an unbounded
-// queue. At least one admission limit must be set in opts.
+// queue. At least one admission limit must be set in opts. Rejected clients
+// re-offer immediately (the worst case); OverloadBackoff is the same run
+// with the retry hint honored.
 func Overload(opts Options, queries, clients int) (*OverloadResult, error) {
+	return overload(opts, queries, clients, false)
+}
+
+// OverloadBackoff is Overload with well-behaved clients: on a shed, the
+// client sleeps for the typed OverloadError.RetryAfter hint before offering
+// its next query instead of hammering the same overloaded generation
+// window. The offered load is identical (same query count per client), so
+// the shed-rate difference against Overload isolates what honoring the
+// hint buys.
+func OverloadBackoff(opts Options, queries, clients int) (*OverloadResult, error) {
+	return overload(opts, queries, clients, true)
+}
+
+func overload(opts Options, queries, clients int, backoff bool) (*OverloadResult, error) {
 	if opts.MaxGenerationDelay == 0 && opts.QueueDepthLimit == 0 && opts.StatementQuota == 0 {
 		return nil, fmt.Errorf("experiments: Overload needs at least one admission limit set (the scenario measures admission behavior)")
 	}
@@ -524,9 +540,11 @@ func Overload(opts Options, queries, clients int) (*OverloadResult, error) {
 					atomic.AddInt64(&admitted, 1)
 					hist.Observe(time.Since(qStart))
 				case errors.Is(err, core.ErrOverloaded):
-					// Rejected fast: the client would back off by the
-					// retry hint; the closed loop just offers the next.
 					atomic.AddInt64(&shed, 1)
+					var oe *core.OverloadError
+					if backoff && errors.As(err, &oe) && oe.RetryAfter > 0 {
+						time.Sleep(oe.RetryAfter)
+					}
 				default:
 					atomic.AddInt64(&failed, 1)
 				}

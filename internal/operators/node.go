@@ -120,6 +120,13 @@ type CycleStart struct {
 	ActiveProducers int    // producer edges that will send EOS this cycle
 	Workers         int    // intra-operator parallelism budget (<=1 = serial)
 	OnDone          func() // optional completion callback (used by sinks)
+
+	// Inc, when non-nil, switches the node's stateful operator to the
+	// incremental path for this cycle: instead of rebuilding from its
+	// producer stream (which the plan silences for the covered queries), the
+	// operator primes or reuses persistent NodeState from the table and the
+	// generation's write delta. Nil keeps the classic rebuild cycle.
+	Inc *IncCycle
 }
 
 // Task is one active query's registration at a node for one generation.
@@ -143,6 +150,10 @@ type Cycle struct {
 	// contract is that Workers=1 output is byte-identical to the engine
 	// before intra-operator parallelism existed.
 	Workers int
+
+	// Inc is the incremental-state activation for this cycle (nil = classic
+	// rebuild). See IncCycle.
+	Inc *IncCycle
 
 	node *Node
 	em   *emitter
@@ -294,7 +305,7 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 		workers = adaptWorkers(workers, n.prevInput)
 	}
 	n.em.reset(n, cs.Gen)
-	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, node: n, em: &n.em}
+	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, Inc: cs.Inc, node: n, em: &n.em}
 	ids := make([]queryset.QueryID, len(cs.Tasks))
 	for i, t := range cs.Tasks {
 		ids[i] = t.Query

@@ -1,8 +1,14 @@
 package plan
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shareddb/internal/expr"
 	"shareddb/internal/operators"
 	"shareddb/internal/queryset"
+	"shareddb/internal/storage"
 	"shareddb/internal/types"
 )
 
@@ -14,12 +20,37 @@ type Activation struct {
 	Params []types.Value
 }
 
+// incAct is one activation covered by a node's incremental-state candidacy.
+type incAct struct {
+	qid    queryset.QueryID
+	stmt   int
+	params []types.Value
+	pred   expr.Expr // unbound scan predicate from the activation's binding
+}
+
+// incCand accumulates the activations that reach one stateful node through
+// its incremental binding this generation.
+type incCand struct {
+	b    incBinding
+	acts []incAct
+	ok   bool // false when bindings disagree on the scan edge/table
+}
+
 // RunGeneration executes one heartbeat of the global plan (paper §3.2):
 // every activation's tasks are queued at the operators along its path, edge
 // query-sets are installed for this generation, and all active nodes are
 // started for generation gen reading snapshot ts. onTuple receives every
 // tuple reaching the sink; onDone fires when the generation has fully
 // drained.
+//
+// delta, when non-nil, turns on incremental node state for this generation:
+// it is the accumulated write delta since the previous incremental
+// generation, with delta.ToTS == ts (the generation barrier makes it exact).
+// Eligible stateful nodes (hash-join build sides and group-by aggregate
+// tables fed by a direct base-table scan, when every activation at the node
+// is so bound) skip their scan input and instead prime from the table or
+// reuse their maintained state by applying the delta in place. A nil delta
+// is byte-identical to the pre-incremental engine.
 //
 // RunGeneration returns immediately; completion is signaled via onDone.
 // Generations pipeline: the caller may start generation N+1 while earlier
@@ -28,8 +59,11 @@ type Activation struct {
 // order, and messages carry their generation tag so overlapping generations
 // never observe each other's tuples. Generations must be dispatched in
 // increasing gen order, and plan mutation (Prepare) still requires all
-// generations to have drained.
-func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple func(stream int, t operators.Tuple), onDone func()) {
+// generations to have drained. The prime/reuse decision below is likewise
+// safe under pipelining: it runs at dispatch time in generation order, and
+// each node applies the resulting state mutations cycle-by-cycle in that
+// same order.
+func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *storage.Delta, onTuple func(stream int, t operators.Tuple), onDone func()) {
 	p.mu.Lock()
 
 	if len(acts) == 0 {
@@ -38,13 +72,21 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple fu
 		return
 	}
 
+	incCycles, skipTask, skipEdge := p.decideIncremental(ts, acts, delta)
+
 	tasks := map[*operators.Node][]operators.Task{}
 	edgeQ := map[*operators.Edge][]queryset.QueryID{}
 	for _, a := range acts {
 		for _, st := range a.Stmt.steps {
+			if skipTask[st.node] != nil && skipTask[st.node][a.QID] {
+				continue
+			}
 			tasks[st.node] = append(tasks[st.node], operators.Task{Query: a.QID, Spec: st.makeSpec(a.Params)})
 		}
 		for _, e := range a.Stmt.pathEdges {
+			if skipEdge[e] != nil && skipEdge[e][a.QID] {
+				continue
+			}
 			edgeQ[e] = append(edgeQ[e], a.QID)
 		}
 	}
@@ -89,7 +131,117 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, onTuple fu
 			Gen: gen, TS: ts, Tasks: nt,
 			ActiveProducers: activeProducers(n),
 			Workers:         workers,
+			Inc:             incCycles[n],
 		}})
 	}
 	p.mu.Unlock()
+}
+
+// decideIncremental picks, per stateful node, whether this generation runs
+// on maintained state — and if so whether the state can be reused (delta
+// applied in place) or must be reprimed from the base table. A node
+// qualifies only when EVERY activation touching it this generation arrives
+// through an incremental binding on the same scan edge; partial coverage
+// falls back to the classic rebuild so shared-but-unbound queries still see
+// the full build input. Returns the per-node incremental activations plus
+// the scan tasks and edge memberships to suppress (the operator builds its
+// own input, so the covered queries must not also stream the scan).
+// Caller holds p.mu.
+func (p *GlobalPlan) decideIncremental(ts uint64, acts []Activation, delta *storage.Delta) (
+	incCycles map[*operators.Node]*operators.IncCycle,
+	skipTask map[*operators.Node]map[queryset.QueryID]bool,
+	skipEdge map[*operators.Edge]map[queryset.QueryID]bool,
+) {
+	if delta == nil {
+		return nil, nil, nil
+	}
+	counts := map[*operators.Node]int{}
+	cands := map[*operators.Node]*incCand{}
+	for _, a := range acts {
+		for _, st := range a.Stmt.steps {
+			counts[st.node]++
+		}
+		for _, b := range a.Stmt.incs {
+			c := cands[b.node]
+			if c == nil {
+				c = &incCand{b: b, ok: true}
+				cands[b.node] = c
+			}
+			if c.b.scanEdge != b.scanEdge || c.b.table != b.table {
+				c.ok = false
+			}
+			c.acts = append(c.acts, incAct{qid: a.QID, stmt: a.Stmt.ID, params: a.Params, pred: b.pred})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil, nil
+	}
+
+	incCycles = map[*operators.Node]*operators.IncCycle{}
+	skipTask = map[*operators.Node]map[queryset.QueryID]bool{}
+	skipEdge = map[*operators.Edge]map[queryset.QueryID]bool{}
+	for n, c := range cands {
+		if !c.ok || len(c.acts) != counts[n] {
+			continue
+		}
+		switch op := c.b.op.(type) {
+		case *operators.HashJoinOp:
+			if op.ByQueryID {
+				continue
+			}
+		case *operators.GroupOp:
+			if len(op.Streams) != 1 {
+				continue
+			}
+		default:
+			continue
+		}
+		sort.Slice(c.acts, func(i, j int) bool { return c.acts[i].qid < c.acts[j].qid })
+
+		// The state signature captures exactly what the maintained state
+		// depends on: which queries it routes (dense per-generation QIDs),
+		// which statements they instantiate, and their parameter bindings.
+		// Matching signature + chained snapshot ⇒ the delta alone brings the
+		// state to this generation.
+		var sb strings.Builder
+		for _, a := range c.acts {
+			fmt.Fprintf(&sb, "%d|%d|%s;", a.qid, a.stmt, types.EncodeKey(a.params...))
+		}
+		sig := sb.String()
+
+		mode := operators.IncPrime
+		if st := p.inc[n]; st != nil && st.sig == sig && st.ts == delta.FromTS {
+			mode = operators.IncReuse
+		}
+		if p.inc == nil {
+			p.inc = map[*operators.Node]*incNodeState{}
+		}
+		p.inc[n] = &incNodeState{sig: sig, ts: ts}
+
+		preds := make([]operators.IncPred, len(c.acts))
+		for i, a := range c.acts {
+			preds[i] = operators.IncPred{QID: a.qid, Pred: expr.Bind(a.pred, a.params)}
+		}
+		ic := &operators.IncCycle{Mode: mode, Table: c.b.table, Preds: preds}
+		if mode == operators.IncReuse {
+			ic.Delta = delta.Table(c.b.table.Name())
+		}
+		incCycles[n] = ic
+
+		st := skipTask[c.b.scanNode]
+		if st == nil {
+			st = map[queryset.QueryID]bool{}
+			skipTask[c.b.scanNode] = st
+		}
+		se := skipEdge[c.b.scanEdge]
+		if se == nil {
+			se = map[queryset.QueryID]bool{}
+			skipEdge[c.b.scanEdge] = se
+		}
+		for _, a := range c.acts {
+			st[a.qid] = true
+			se[a.qid] = true
+		}
+	}
+	return incCycles, skipTask, skipEdge
 }

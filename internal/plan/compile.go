@@ -428,6 +428,20 @@ func (p *GlobalPlan) compileJoin(s *Statement, j *sql.Join) (compiled, error) {
 	step := stepBinding{node: ref.node, makeSpec: func([]types.Value) interface{} {
 		return operators.JoinSpec{}
 	}}
+	// Incremental-state binding: the build side is a direct shared ClockScan,
+	// so the join's hash table can be maintained as persistent NodeState
+	// (primed from the table, updated from generation write deltas) instead
+	// of rebuilt from the scan stream every cycle.
+	if right.foldTable != "" && len(right.steps) == 1 {
+		s.incs = append(s.incs, incBinding{
+			node:     ref.node,
+			op:       ref.op,
+			scanNode: right.node,
+			scanEdge: ie,
+			table:    p.db.Table(right.foldTable),
+			pred:     right.foldPred,
+		})
+	}
 	return compiled{
 		node:   ref.node,
 		stream: p.streams[outCfg.OutStream],
@@ -553,6 +567,19 @@ func (p *GlobalPlan) compileGroup(s *Statement, g *sql.Group) (compiled, error) 
 		ref.op.Streams[c.stream.id] = operators.GroupStream{GroupCols: g.GroupCols, AggArgs: aggArgs}
 	}
 	e := p.edge(c.node, ref.node)
+	// Incremental-state binding: the group-by's input is a direct shared
+	// ClockScan, so its aggregate table can be maintained as persistent
+	// NodeState across generations.
+	if c.foldTable != "" && len(c.steps) == 1 {
+		s.incs = append(s.incs, incBinding{
+			node:     ref.node,
+			op:       ref.op,
+			scanNode: c.node,
+			scanEdge: e,
+			table:    p.db.Table(c.foldTable),
+			pred:     c.foldPred,
+		})
+	}
 	having := g.Having
 	scalar := len(g.GroupCols) == 0
 	step := stepBinding{node: ref.node, makeSpec: func(params []types.Value) interface{} {

@@ -78,6 +78,21 @@ type GlobalPlan struct {
 	SinkOp *operators.SinkOp
 
 	stmts []*Statement
+
+	// inc tracks each stateful node's persistent NodeState version: the
+	// signature of the covered activations it was built for and the storage
+	// snapshot it is current as of. RunGeneration reuses state only when the
+	// signature matches and the generation delta chains exactly onto the
+	// state's snapshot; otherwise the node reprimes. Nil until an
+	// incremental generation runs.
+	inc map[*operators.Node]*incNodeState
+}
+
+// incNodeState is the plan-side version stamp of one node's maintained
+// state.
+type incNodeState struct {
+	sig string // QID-sorted (qid, stmt, params) fingerprint of covered activations
+	ts  uint64 // snapshot the state is current as of
 }
 
 type sourceRef struct {
@@ -276,6 +291,24 @@ type Statement struct {
 
 	// write side
 	Write *sql.WritePlan
+
+	// incs are the statement's incremental-state bindings: stateful nodes
+	// along its path (hash join, group-by) whose input is this statement's
+	// direct base-table scan, eligible for maintained NodeState when
+	// Config.IncrementalState is on. Set at compile time.
+	incs []incBinding
+}
+
+// incBinding marks one (statement, stateful node) pair whose scan step can
+// be replaced by maintained state: the scan node/edge to silence, the base
+// table to prime from, and the statement's unbound scan predicate.
+type incBinding struct {
+	node     *operators.Node    // the stateful operator's node
+	op       operators.Operator // *HashJoinOp or *GroupOp (eligibility checks)
+	scanNode *operators.Node    // the feeding shared ClockScan
+	scanEdge *operators.Edge    // scanNode → node edge
+	table    *storage.Table
+	pred     expr.Expr // unbound scan predicate (nil = every row)
 }
 
 // IsWrite reports whether the statement mutates data.

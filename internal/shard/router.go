@@ -273,6 +273,8 @@ func (r *Router) Stats() core.EngineStats {
 		out.WritesRun += s.WritesRun
 		out.FoldedQueries += s.FoldedQueries
 		out.SubsumedQueries += s.SubsumedQueries
+		out.SubscriptionsActive += s.SubscriptionsActive
+		out.SubscriptionUpdates += s.SubscriptionUpdates
 		out.InFlight += s.InFlight
 		out.PeakInFlight += s.PeakInFlight
 		out.Admission.Shed += s.Admission.Shed

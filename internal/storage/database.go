@@ -313,6 +313,11 @@ func checkUnique(t *Table, row types.Row, ts uint64, selfRID RowID, hasSelf bool
 // published before the batch. The new snapshot is published once, after the
 // whole batch — readers never observe a half-applied batch.
 func (db *Database) ApplyOps(ops []WriteOp) ([]OpResult, uint64) {
+	results, ts, _ := db.applyOps(ops)
+	return results, ts
+}
+
+func (db *Database) applyOps(ops []WriteOp) ([]OpResult, uint64, []WALRecord) {
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 
@@ -347,7 +352,7 @@ func (db *Database) ApplyOps(ops []WriteOp) ([]OpResult, uint64) {
 		}
 	}
 	db.publish(ts)
-	return results, ts
+	return results, ts, logRecs
 }
 
 // applyOne executes one mutation at timestamp ts and returns physical WAL

@@ -188,6 +188,19 @@ func RunDriver(sys System, scale Scale, ids *IDAllocator, cfg DriverConfig) *Met
 				switch {
 				case shed:
 					atomic.AddInt64(&m.Shed, 1)
+					// Honor the typed back-off hint: retrying immediately
+					// lands in the same overloaded generation window and is
+					// shed again, inflating the shed rate without adding any
+					// successful work. OverloadError.RetryAfter is the
+					// server's estimate of when capacity frees up.
+					var oe *core.OverloadError
+					if errors.As(err, &oe) && oe.RetryAfter > 0 {
+						wait := oe.RetryAfter
+						if max := 10 * cfg.ThinkTime; cfg.ThinkTime > 0 && wait > max {
+							wait = max // same cap the spec puts on think time
+						}
+						time.Sleep(wait)
+					}
 				case err != nil:
 					atomic.AddInt64(&m.Errors, 1)
 				case timeScale > 0 && lat > limit:

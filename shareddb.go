@@ -143,6 +143,22 @@ type Config struct {
 	WALDir string
 	// SyncWAL fsyncs the log on every commit batch.
 	SyncWAL bool
+	// IncrementalState keeps hash-join build sides and group-by aggregate
+	// tables as persistent operator state maintained from each generation's
+	// write delta, instead of rebuilding them from their input scan every
+	// generation. State is reused when the covering queries and parameters
+	// repeat between generations (standing queries, repeated prepared
+	// reads); anything else reprimes from the base table. Off (false), the
+	// execution path is byte-identical to rebuild-every-generation.
+	// Requires MaxInFlightGenerations >= 1 (0 selects the default depth);
+	// rejected by Open otherwise.
+	IncrementalState bool
+	// SubscriptionBuffer is the per-subscription update channel capacity
+	// for DB.Subscribe (0 selects the default of 16; negative values are
+	// rejected by Open). A subscriber that falls a full buffer behind is
+	// marked lagged and receives a full resync as its next delivery —
+	// generations never block on slow subscribers.
+	SubscriptionBuffer int
 }
 
 // Validate rejects configurations that previously defaulted silently.
@@ -170,6 +186,8 @@ func (c Config) coreConfig() core.Config {
 		BreakerCooldown:        c.BreakerCooldown,
 		FoldQueries:            c.FoldQueries,
 		FoldSubsume:            c.FoldSubsume,
+		IncrementalState:       c.IncrementalState,
+		SubscriptionBuffer:     c.SubscriptionBuffer,
 	}
 }
 
@@ -183,6 +201,18 @@ var ErrOverloaded = core.ErrOverloaded
 // OverloadError is the typed admission rejection: the reason a submission
 // was refused plus RetryAfter, the suggested client back-off.
 type OverloadError = core.OverloadError
+
+// Subscription is a standing query handle returned by DB.Subscribe: the
+// statement joins every subsequent generation's query set and result changes
+// arrive on Updates. See SubscriptionUpdate for the delivery contract.
+type Subscription = core.Subscription
+
+// SubscriptionUpdate is one delivery on a Subscription's Updates channel:
+// an initial full result, then per-generation Added/Removed deltas
+// (generations that leave the result unchanged deliver nothing). A
+// subscriber that falls a full buffer behind is resynced with a fresh full
+// result instead of a gapped delta stream.
+type SubscriptionUpdate = core.SubscriptionUpdate
 
 // DB is a SharedDB database handle. It is safe for concurrent use.
 type DB struct {
@@ -293,6 +323,12 @@ type Stats struct {
 	Shed         uint64
 	Rejected     uint64
 	BreakerTrips uint64
+	// SubscriptionsActive is the gauge of open standing queries
+	// (DB.Subscribe handles not yet closed; summed across shards).
+	SubscriptionsActive int
+	// SubscriptionUpdates counts updates handed to subscribers: initial
+	// full results, per-generation deltas and lag resyncs.
+	SubscriptionUpdates uint64
 }
 
 // FoldHitRate is the fraction of client-visible reads served by folding:
@@ -319,6 +355,8 @@ func (db *DB) Stats() Stats {
 		Shed:                es.Admission.Shed,
 		Rejected:            es.Admission.Rejected,
 		BreakerTrips:        es.Admission.BreakerTrips,
+		SubscriptionsActive: es.SubscriptionsActive,
+		SubscriptionUpdates: es.SubscriptionUpdates,
 	}
 }
 
@@ -428,6 +466,41 @@ func (s *Stmt) Exec(args ...interface{}) (Result, error) {
 // context.Background().
 func (db *DB) Query(sqlText string, args ...interface{}) (*Rows, error) {
 	return db.QueryContext(context.Background(), sqlText, args...)
+}
+
+// Subscribe registers stmt with the given arguments as a standing query.
+// The statement becomes a permanent member of every subsequent generation's
+// query set: the first delivery on the subscription's Updates channel is the
+// full result at the next generation's snapshot, and each later generation
+// that changes the result delivers the Added/Removed rows. With
+// Config.IncrementalState the standing query's shared join and group state
+// is maintained in place from each generation's write delta instead of
+// being rebuilt.
+//
+// Cancelling ctx closes the subscription, as does Subscription.Close;
+// either way the engine drops it at the next batch formation without
+// perturbing in-flight generations. On sharded deployments the feed merges
+// per-shard updates in generation order (scatter statements must be plain
+// concatenations — no cross-shard ORDER BY, GROUP BY, DISTINCT or LIMIT).
+func (db *DB) Subscribe(ctx context.Context, stmt *Stmt, args ...interface{}) (*Subscription, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := db.exec.Subscribe(stmt.stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				sub.Close()
+			case <-sub.Done():
+			}
+		}()
+	}
+	return sub, nil
 }
 
 // Rows is a materialized, iterable result set.

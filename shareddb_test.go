@@ -1,6 +1,7 @@
 package shareddb
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -616,5 +617,67 @@ func TestPartitionKeyTypoSurfacesAtDDL(t *testing.T) {
 	defer db2.Close()
 	if _, err := db2.Exec(`CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))`); err != nil {
 		t.Fatalf("valid partition-key override rejected: %v", err)
+	}
+}
+
+// TestSubscribePublicAPI: the standing-query surface end to end — initial
+// full result, a delta after a write, stats visibility, and context
+// cancellation detaching the subscription.
+func TestSubscribePublicAPI(t *testing.T) {
+	db, err := Open(Config{IncrementalState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE ticks (id INT, v FLOAT, PRIMARY KEY (id))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Exec(`INSERT INTO ticks VALUES (?, ?)`, i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stmt, err := db.Prepare(`SELECT id, v FROM ticks WHERE v > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub, err := db.Subscribe(ctx, stmt, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-sub.Updates():
+		if !u.Full || len(u.Rows) != 3 {
+			t.Fatalf("initial delivery = %+v, want full with 3 rows", u)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no initial full result")
+	}
+	if _, err := db.Exec(`INSERT INTO ticks VALUES (?, ?)`, 10, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-sub.Updates():
+		if u.Full || len(u.Added) != 1 || len(u.Removed) != 0 {
+			t.Fatalf("post-insert delivery = %+v, want delta with 1 added row", u)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delta after insert")
+	}
+	if st := db.Stats(); st.SubscriptionsActive != 1 || st.SubscriptionUpdates < 2 {
+		t.Fatalf("stats = active %d updates %d, want 1 and >= 2",
+			st.SubscriptionsActive, st.SubscriptionUpdates)
+	}
+	cancel()
+	select {
+	case <-sub.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("context cancellation did not close the subscription")
+	}
+	// writes keep flowing after detach
+	if _, err := db.Exec(`DELETE FROM ticks WHERE id = ?`, 10); err != nil {
+		t.Fatal(err)
 	}
 }
