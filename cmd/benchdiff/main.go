@@ -34,9 +34,13 @@ import (
 // benchRecord mirrors the microbench report entries (unknown fields are
 // ignored so the two commands can evolve independently).
 type benchRecord struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// float64, not int64: rate-derived records have historically emitted
+	// fractional ns_per_op/allocs_per_op values, and a gate that dies on a
+	// decimal point in an otherwise valid report gates nothing. Parse
+	// tolerantly, render rounded.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 	P50Ns       float64 `json:"p50_ns"`
 	P99Ns       float64 `json:"p99_ns"`
 	ShedRate    float64 `json:"shed_rate"`
@@ -103,13 +107,13 @@ func main() {
 	for _, cur := range current.Results {
 		b, ok := base[cur.Name]
 		if !ok {
-			fmt.Printf("%-18s %14s %14.0f %8s %10s %10d %8s  new (not gated)\n",
+			fmt.Printf("%-18s %14s %14.0f %8s %10s %10.0f %8s  new (not gated)\n",
 				cur.Name, "-", cur.NsPerOp, "-", "-", cur.AllocsPerOp, "-")
 			continue
 		}
 		delete(base, cur.Name)
 		nsDelta := pctDelta(b.NsPerOp, cur.NsPerOp)
-		allocDelta := pctDelta(float64(b.AllocsPerOp), float64(cur.AllocsPerOp))
+		allocDelta := pctDelta(b.AllocsPerOp, cur.AllocsPerOp)
 		verdict := "ok"
 		switch {
 		case excluded[cur.Name]:
@@ -122,13 +126,13 @@ func main() {
 		case b.AllocsPerOp == 0 && cur.AllocsPerOp > 0:
 			// A percentage gate cannot see growth from zero, and zero
 			// allocations is exactly the pinned property worth guarding.
-			verdict = fmt.Sprintf("FAIL allocs/op 0 -> %d", cur.AllocsPerOp)
+			verdict = fmt.Sprintf("FAIL allocs/op 0 -> %.0f", cur.AllocsPerOp)
 			failures++
 		case allocDelta > *allocsThreshold:
 			verdict = fmt.Sprintf("FAIL allocs/op +%.1f%% > %.1f%%", allocDelta, *allocsThreshold)
 			failures++
 		}
-		fmt.Printf("%-18s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%  %s\n",
+		fmt.Printf("%-18s %14.0f %14.0f %+7.1f%% %10.0f %10.0f %+7.1f%%  %s\n",
 			cur.Name, b.NsPerOp, cur.NsPerOp, nsDelta, b.AllocsPerOp, cur.AllocsPerOp, allocDelta, verdict)
 		if cur.P99Ns > 0 || b.P99Ns > 0 {
 			fmt.Printf("%-18s   p50 %v → %v, p99 %v → %v, shed %.1f%% → %.1f%% (informational)\n",

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -170,6 +171,22 @@ func runJSONBench(opts experiments.Options) error {
 		r := benchStatement(eng, stmt, sp.mkParams)
 		report.Results = append(report.Results,
 			record(sp.name, sp.desc, fmt.Sprintf("batch of %d queries", jsonBatch), jsonBatch, r))
+	}
+
+	// The same scan and join batches against the columnar mirror: a second
+	// engine over the same loaded database with ColumnarScan on. The
+	// trajectory claim is the scan_columnar/scan ns ratio (≤ 0.5x).
+	colEng := core.New(db, plan.New(db), core.Config{Workers: opts.Workers, ColumnarScan: true})
+	defer colEng.Close()
+	for _, sp := range stmts[:2] {
+		stmt, err := colEng.Prepare(sp.sql)
+		if err != nil {
+			return fmt.Errorf("prepare %s_columnar: %w", sp.name, err)
+		}
+		r := benchStatement(colEng, stmt, sp.mkParams)
+		report.Results = append(report.Results,
+			record(sp.name+"_columnar", sp.desc+" (columnar shared scan)",
+				fmt.Sprintf("batch of %d queries", jsonBatch), jsonBatch, r))
 	}
 
 	// TPC-W interaction mix on a fresh environment (its writes must not
@@ -492,7 +509,10 @@ func benchSubscribeBrowsing(opts experiments.Options) (benchRecord, error) {
 	}
 	ns := 0.0
 	if rate > 0 {
-		ns = 1e9 / rate
+		// Round to whole nanoseconds: ns_per_op is integral everywhere else
+		// (testing.BenchmarkResult reports it as an int64) and benchdiff's
+		// consumers treat it as such.
+		ns = math.Round(1e9 / rate)
 	}
 	return benchRecord{
 		Name: "subscribe_browsing",
@@ -535,7 +555,7 @@ func benchFolding(opts experiments.Options, fold bool) (benchRecord, error) {
 	qps := res.ClientQPS()
 	ns := 0.0
 	if qps > 0 {
-		ns = 1e9 / qps
+		ns = math.Round(1e9 / qps)
 	}
 	name, state := "fold_zipf_off", "folding off"
 	if fold {

@@ -32,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 2012, "data generator seed")
 	workers := flag.Int("workers", 0, "SharedDB intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 0, "SharedDB shard engines for the sharded TPC-W mix bench (0 = default 2, 1 = skip the sharded entry)")
+	columnar := flag.Bool("columnar", false, "scan the delta-maintained columnar mirror instead of the row store")
+	shardWorkers := flag.Int("shard-workers", 0, "workers per shard engine (0 = GOMAXPROCS/shards split)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable scan/join/sort/TPC-W-mix benchmark baseline on stdout")
 	flag.Parse()
 
@@ -41,6 +43,8 @@ func main() {
 		Seed:          *seed,
 		Workers:       *workers,
 		Shards:        *shards,
+		ColumnarScan:  *columnar,
+		ShardWorkers:  *shardWorkers,
 	}
 
 	if *jsonOut {

@@ -58,6 +58,8 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "max generations in flight (0 = engine default, 1 = serial; negative values are rejected)")
 	workers := flag.Int("workers", 0, "intra-operator worker pool per cycle (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 0, "shard engines with hash-partitioned tables (0 or 1 = single engine)")
+	columnar := flag.Bool("columnar", false, "scan the delta-maintained columnar mirror instead of the row store")
+	shardWorkers := flag.Int("shard-workers", 0, "workers per shard engine (0 = GOMAXPROCS/shards split)")
 	replicate := flag.String("replicate", "", "comma-separated tables to replicate to every shard instead of partitioning")
 	partition := flag.String("partition", "", "partition-key overrides as table=col[+col...],... (default: primary key)")
 	maxDelay := flag.Duration("max-delay", 0, "per-generation latency SLO; enables SLO batch sizing and the slow-query breaker (0 = off, minimum 1ms)")
@@ -68,6 +70,7 @@ func main() {
 	flag.Parse()
 
 	cfg := shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers, Shards: *shards,
+		ColumnarScan: *columnar, ShardWorkers: *shardWorkers,
 		MaxGenerationDelay: *maxDelay, QueueDepthLimit: *queueLimit, StatementQuota: *stmtQuota,
 		FoldQueries: *fold, FoldSubsume: *foldSubsume}
 	if *replicate != "" {

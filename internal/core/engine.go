@@ -74,6 +74,20 @@ type Config struct {
 	// to serial as a backstop). Per-query results are identical at any
 	// setting.
 	Workers int
+	// ColumnarScan switches shared table scans from the row-store ClockScan
+	// to the delta-maintained columnar mirror (typed flat vectors per
+	// column, vectorized predicate evaluation; storage.SharedScanColumnar).
+	// Emission is bit-identical to the row path — same rows, same order,
+	// same query sets — so only scan throughput changes. Disabled (false),
+	// the scan path is byte-identical to the row-store engine.
+	ColumnarScan bool
+	// ShardWorkers overrides the per-shard worker budget when this config
+	// is used to build a sharded system (internal/shard): each shard engine
+	// gets this many workers instead of the default GOMAXPROCS/shards
+	// split, letting deployments oversubscribe or isolate cores explicitly.
+	// 0 selects the split; negative values are rejected by Config.Validate.
+	// Single-engine deployments ignore it.
+	ShardWorkers int
 
 	// MaxGenerationDelay is the per-generation latency SLO (the paper's
 	// response-time limit): batch formation caps each generation at the
@@ -262,6 +276,7 @@ func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 		}
 	}
 	gp.SetWorkers(e.workers)
+	gp.SetColumnar(cfg.ColumnarScan)
 	e.cond = sync.NewCond(&e.mu)
 	gp.Start()
 	go e.loop()

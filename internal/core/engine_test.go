@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -87,10 +88,17 @@ func bookstore(t testing.TB) (*storage.Database, func()) {
 	return db, func() { db.Close() }
 }
 
+// testColumnar reports whether engine-level suites should run with the
+// columnar shared scan, from SHAREDDB_TEST_COLUMNAR (unset/0 = row path) —
+// the CI matrix runs both, mirroring the SHAREDDB_TEST_SHARDS axis.
+func testColumnar() bool {
+	return os.Getenv("SHAREDDB_TEST_COLUMNAR") == "1"
+}
+
 func newEngine(t testing.TB, db *storage.Database) *Engine {
 	t.Helper()
 	gp := plan.New(db)
-	return New(db, gp, Config{})
+	return New(db, gp, Config{ColumnarScan: testColumnar()})
 }
 
 func mustPrepare(t testing.TB, e *Engine, sqlText string) *plan.Statement {

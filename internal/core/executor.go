@@ -114,6 +114,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d (0 = GOMAXPROCS, 1 = serial)", c.Workers)
 	}
+	if c.ShardWorkers < 0 {
+		return fmt.Errorf("core: ShardWorkers must be >= 0, got %d (0 = GOMAXPROCS/shards)", c.ShardWorkers)
+	}
 	if c.IncrementalState && c.MaxInFlightGenerations < 0 {
 		return fmt.Errorf("core: IncrementalState requires MaxInFlightGenerations >= 1, got %d (the delta chain needs a real pipeline depth; 0 selects the default %d)",
 			c.MaxInFlightGenerations, DefaultMaxInFlightGenerations)

@@ -151,8 +151,10 @@ type Options struct {
 	PointDuration time.Duration // measurement window per data point
 	ThinkTime     time.Duration // mean EB think time (scaled-down 7 s)
 	Seed          int64
-	Workers       int // SharedDB intra-operator workers (0 = GOMAXPROCS)
-	Shards        int // SharedDB shard engines (0 or 1 = single engine)
+	Workers       int  // SharedDB intra-operator workers (0 = GOMAXPROCS)
+	Shards        int  // SharedDB shard engines (0 or 1 = single engine)
+	ColumnarScan  bool // scan the columnar mirror instead of the row store
+	ShardWorkers  int  // per-shard worker override (0 = GOMAXPROCS/shards)
 
 	// Admission-control knobs for overload scenarios (zero = disabled, the
 	// classic unbounded-queue engine). They apply to SharedDB only; the
@@ -183,6 +185,8 @@ type Options struct {
 func (o Options) coreConfig() core.Config {
 	return core.Config{
 		Workers:                o.Workers,
+		ColumnarScan:           o.ColumnarScan,
+		ShardWorkers:           o.ShardWorkers,
 		MaxGenerationDelay:     o.MaxGenerationDelay,
 		QueueDepthLimit:        o.QueueDepthLimit,
 		StatementQuota:         o.StatementQuota,

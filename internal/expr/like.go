@@ -39,21 +39,32 @@ type likeMatcher struct {
 	pattern string
 }
 
-func compileLike(pattern string) *likeMatcher {
+// classifyLike picks the specialized matcher kind for a pattern. For the
+// specialized kinds the returned needle is the wildcard-stripped literal;
+// for likeGeneral it is the full pattern (fed to the general matcher).
+func classifyLike(pattern string) (likeKind, string) {
 	hasUnderscore := strings.ContainsRune(pattern, '_')
 	if !hasUnderscore {
 		switch {
 		case !strings.Contains(pattern, "%"):
-			return &likeMatcher{kind: likeExact, needle: pattern}
+			return likeExact, pattern
 		case strings.Count(pattern, "%") == 1 && strings.HasSuffix(pattern, "%"):
-			return &likeMatcher{kind: likePrefix, needle: pattern[:len(pattern)-1]}
+			return likePrefix, pattern[:len(pattern)-1]
 		case strings.Count(pattern, "%") == 1 && strings.HasPrefix(pattern, "%"):
-			return &likeMatcher{kind: likeSuffix, needle: pattern[1:]}
+			return likeSuffix, pattern[1:]
 		case strings.Count(pattern, "%") == 2 && strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
-			return &likeMatcher{kind: likeContains, needle: pattern[1 : len(pattern)-1]}
+			return likeContains, pattern[1 : len(pattern)-1]
 		}
 	}
-	return &likeMatcher{kind: likeGeneral, pattern: pattern}
+	return likeGeneral, pattern
+}
+
+func compileLike(pattern string) *likeMatcher {
+	kind, needle := classifyLike(pattern)
+	if kind == likeGeneral {
+		return &likeMatcher{kind: likeGeneral, pattern: pattern}
+	}
+	return &likeMatcher{kind: kind, needle: needle}
 }
 
 func (m *likeMatcher) match(s string) bool {
@@ -135,3 +146,51 @@ func (l *Like) String() string {
 // MatchLike exposes the general matcher for tests and for the baseline
 // engine's row-at-a-time filter.
 func MatchLike(pattern, s string) bool { return compileLike(pattern).match(s) }
+
+// LikeShape classifies a constant LIKE pattern for vectorized evaluation
+// (the columnar shared scan matches whole string vectors without going
+// through Eval).
+type LikeShape uint8
+
+// LIKE pattern shapes: the wildcard-free/prefix/suffix/infix forms map to
+// single library string operations; everything else runs the general glob
+// matcher.
+const (
+	LikeGeneral  LikeShape = iota // arbitrary pattern: use MatchLike
+	LikeExact                     // no wildcards: s == needle
+	LikePrefix                    // abc%: strings.HasPrefix
+	LikeSuffix                    // %abc: strings.HasSuffix
+	LikeContains                  // %abc%: strings.Contains
+)
+
+// PlainLike recognizes e as `col LIKE <const>` (possibly negated) with a
+// non-NULL constant pattern and returns the column, the classified pattern
+// shape with its needle (the full pattern for LikeGeneral) and the negation
+// flag. Callers must apply SQL NULL semantics themselves: a NULL column
+// value fails the predicate regardless of negation (Like.Eval propagates
+// NULL, which TruthyEval treats as false).
+func PlainLike(e Expr) (col int, shape LikeShape, needle string, negate, ok bool) {
+	l, isLike := e.(*Like)
+	if !isLike {
+		return 0, LikeGeneral, "", false, false
+	}
+	cr, okL := l.L.(*ColRef)
+	pc, okP := l.Pattern.(*Const)
+	if !okL || !okP || pc.Val.IsNull() {
+		return 0, LikeGeneral, "", false, false
+	}
+	kind, needle := classifyLike(pc.Val.AsString())
+	switch kind {
+	case likeExact:
+		shape = LikeExact
+	case likePrefix:
+		shape = LikePrefix
+	case likeSuffix:
+		shape = LikeSuffix
+	case likeContains:
+		shape = LikeContains
+	default:
+		shape = LikeGeneral
+	}
+	return cr.Idx, shape, needle, l.Negate, true
+}

@@ -119,6 +119,7 @@ type CycleStart struct {
 	Tasks           []Task // per-query activations at this node
 	ActiveProducers int    // producer edges that will send EOS this cycle
 	Workers         int    // intra-operator parallelism budget (<=1 = serial)
+	Columnar        bool   // scan sources read the columnar mirror this cycle
 	OnDone          func() // optional completion callback (used by sinks)
 
 	// Inc, when non-nil, switches the node's stateful operator to the
@@ -154,6 +155,11 @@ type Cycle struct {
 	// Inc is the incremental-state activation for this cycle (nil = classic
 	// rebuild). See IncCycle.
 	Inc *IncCycle
+
+	// Columnar switches scan sources to the columnar mirror
+	// (storage.SharedScanColumnar) for this cycle. Emission is bit-identical
+	// to the row path, so only the scan operator inspects it.
+	Columnar bool
 
 	node *Node
 	em   *emitter
@@ -305,7 +311,7 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 		workers = adaptWorkers(workers, n.prevInput)
 	}
 	n.em.reset(n, cs.Gen)
-	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, Inc: cs.Inc, node: n, em: &n.em}
+	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, Inc: cs.Inc, Columnar: cs.Columnar, node: n, em: &n.em}
 	ids := make([]queryset.QueryID, len(cs.Tasks))
 	for i, t := range cs.Tasks {
 		ids[i] = t.Query

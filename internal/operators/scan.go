@@ -18,6 +18,7 @@ type ScanOp struct {
 	OutStream int
 
 	bufs    storage.ScanBuffers
+	cbufs   storage.ColScanBuffers
 	clients []storage.ScanClient
 }
 
@@ -31,15 +32,22 @@ type ScanSpec struct {
 // above 1 the cycle runs the partition-parallel ClockScan: contiguous row
 // ranges are matched on separate workers and merged back in row order, so
 // downstream operators observe the same tuple sequence as the serial scan.
+// A columnar cycle (Cycle.Columnar) evaluates the same predicate index over
+// the table's columnar mirror instead; emission is bit-identical.
 func (s *ScanOp) Start(c *Cycle) {
 	s.clients = s.clients[:0]
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(ScanSpec)
 		s.clients = append(s.clients, storage.ScanClient{ID: t.Query, Pred: spec.Pred})
 	}
-	s.Table.SharedScanPooled(c.TS, s.clients, c.Workers, &s.bufs, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+	emit := func(_ storage.RowID, row types.Row, qs queryset.Set) {
 		c.Emit(s.OutStream, row, qs)
-	})
+	}
+	if c.Columnar {
+		s.Table.SharedScanColumnar(c.TS, s.clients, c.Workers, &s.cbufs, emit)
+	} else {
+		s.Table.SharedScanPooled(c.TS, s.clients, c.Workers, &s.bufs, emit)
+	}
 	clear(s.clients)
 	s.clients = s.clients[:0]
 }

@@ -124,6 +124,7 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *sto
 		Gen: gen, TS: ts,
 		ActiveProducers: activeProducers(p.sink),
 		Workers:         workers,
+		Columnar:        p.columnar,
 		OnDone:          done,
 	}})
 	for n, nt := range tasks {
@@ -131,6 +132,7 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *sto
 			Gen: gen, TS: ts, Tasks: nt,
 			ActiveProducers: activeProducers(n),
 			Workers:         workers,
+			Columnar:        p.columnar,
 			Inc:             incCycles[n],
 		}})
 	}

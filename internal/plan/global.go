@@ -55,7 +55,8 @@ type GlobalPlan struct {
 	nextNodeID int
 	nextStream int
 	started    bool
-	workers    int // per-cycle intra-operator parallelism (<=1 = serial)
+	workers    int  // per-cycle intra-operator parallelism (<=1 = serial)
+	columnar   bool // scan sources read the columnar mirror (SharedScanColumnar)
 	// pool is the plan-wide batch free list: every node's emitter draws
 	// from it and every node recycles consumed batches into it, so the
 	// steady-state generation cycle reuses the same buffers (README
@@ -204,6 +205,22 @@ func (p *GlobalPlan) Workers() int {
 		return 1
 	}
 	return p.workers
+}
+
+// SetColumnar switches scan sources between the row-store ClockScan and the
+// columnar mirror (storage.SharedScanColumnar). Takes effect from the next
+// generation; emission is bit-identical either way.
+func (p *GlobalPlan) SetColumnar(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.columnar = on
+}
+
+// Columnar reports whether scan cycles read the columnar mirror.
+func (p *GlobalPlan) Columnar() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.columnar
 }
 
 // Start launches every operator goroutine (idempotent).

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -170,10 +171,20 @@ func New(dbs []*storage.Database, cfg core.Config, placement Placement) (*Router
 		r.foldQueries = true
 		r.gathers = map[uint64][]*gatherEntry{}
 	}
+	// Per-shard worker placement: by default every shard engine would
+	// resolve Workers=0 to all of GOMAXPROCS and the shards would contend
+	// for the same cores, so split the processor budget into disjoint
+	// per-shard shares. ShardWorkers overrides the share explicitly.
+	ecfg := cfg
+	if cfg.ShardWorkers > 0 {
+		ecfg.Workers = cfg.ShardWorkers
+	} else if cfg.Workers == 0 && len(dbs) > 1 {
+		ecfg.Workers = max(1, runtime.GOMAXPROCS(0)/len(dbs))
+	}
 	for _, db := range dbs {
 		gp := plan.New(db)
 		r.plans = append(r.plans, gp)
-		r.engines = append(r.engines, core.New(db, gp, cfg))
+		r.engines = append(r.engines, core.New(db, gp, ecfg))
 	}
 	return r, nil
 }

@@ -1,0 +1,734 @@
+package storage
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+	"strings"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/par"
+	"shareddb/internal/queryset"
+	"shareddb/internal/types"
+)
+
+// SharedScanColumnar is the ClockScan cycle over the columnar mirror
+// (colstore.go): the same predicate classification as buildPredIndex, but
+// evaluated column-at-a-time over typed vectors in fixed-size chunks.
+// Equality probes hash a whole column chunk against the per-value query
+// lists, range predicates compare typed vector slices without boxing, and
+// residual expressions run only on rows that survived their indexed
+// conjunct. Per-query selection bitmaps are intersected into the same
+// borrowed query-set emission path as the row scan: identical rows (same
+// objects), identical RowID order, identical sorted query-id sets, so
+// downstream operators cannot tell the two paths apart.
+//
+// Like SharedScanPooled, bufs == nil is the unpooled contract (emitted sets
+// stay valid indefinitely); with caller-owned bufs the sets are borrowed
+// until the next cycle. The chunk loop is partitioned across workers on
+// chunk boundaries — contiguous and ordered, so partition-order replay is
+// RowID order, exactly like the row path's partitioned scan.
+
+// colChunkRows is the chunk size of the columnar scan: per-query selection
+// bitmaps cover one chunk at a time so they stay L1-resident. Must be a
+// multiple of 64 (chunks are word-aligned into the live bitmap). A var so
+// tests can force many-chunk coverage on small fixtures.
+var colChunkRows = 1024
+
+// FNV-1a, matching types.Value.Hash bit for bit (the typed vector loops
+// hash payloads without materializing a Value).
+const (
+	colFNVOffset64 = 14695981039346656037
+	colFNVPrime64  = 1099511628211
+)
+
+// colHashNull is types.Null.Hash().
+var colHashNull = types.Null.Hash()
+
+// colHash64 hashes the 8 little-endian bytes of u (the Value.Hash image of
+// INT/BOOL/TIME payloads and of integral or non-finite FLOAT bit patterns).
+func colHash64(u uint64) uint64 {
+	h := uint64(colFNVOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(u >> (8 * i)))
+		h *= colFNVPrime64
+	}
+	return h
+}
+
+// colHashF64 hashes a float64 exactly like Value.Hash: integral finite
+// floats hash as their int64 image (coerced-equality consistency with INT),
+// everything else by bit pattern.
+func colHashF64(f float64) uint64 {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) {
+		return colHash64(uint64(int64(f)))
+	}
+	return colHash64(math.Float64bits(f))
+}
+
+// colHashStr hashes string bytes like Value.Hash.
+func colHashStr(s string) uint64 {
+	h := uint64(colFNVOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= colFNVPrime64
+	}
+	return h
+}
+
+// colNumericKind mirrors types' numeric-coercion family.
+func colNumericKind(k types.Kind) bool {
+	return k == types.KindInt || k == types.KindFloat || k == types.KindBool || k == types.KindTime
+}
+
+// cmpF64 is the three-way float compare Value.Compare uses. Note the NaN
+// semantics: NaN is neither < nor > anything, so it compares "equal" to
+// every number — the columnar path must reproduce that, not use ==.
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// colBound is one precompiled range-bound check against a typed vector.
+// The mode is derived per scan from the bound constant's kind and the
+// column's representation; incomparable kinds collapse to pass/fail for
+// the whole column (Value.Compare's kind-tag total order).
+type colBound struct {
+	mode uint8
+	incl bool
+	i    int64
+	f    float64
+	s    string
+}
+
+const (
+	cbNone uint8 = iota // unbounded or always satisfied
+	cbFail              // never satisfied
+	cbI64               // compare against i (int64 payloads)
+	cbF64               // compare against f (coerced float compare)
+	cbStr               // compare against s (string payloads)
+)
+
+// colEqProbe is one equality-indexed client. Probes are stored in a flat
+// arena and chained per hash bucket via next (1-based; 0 terminates), so
+// steady-state index rebuilds allocate nothing.
+type colEqProbe struct {
+	val      types.Value
+	residual expr.Expr
+	ci       int32
+	next     int32
+}
+
+// colEqCol is the per-column equality probe index: value hash → first
+// probe (1-based into colIndex.eqProbes).
+type colEqCol struct {
+	col   int
+	heads map[uint64]int32
+}
+
+// colRangeProbe is one range-indexed client with its compiled bounds.
+type colRangeProbe struct {
+	col      int
+	rng      expr.Range
+	residual expr.Expr
+	ci       int32
+	lo, hi   colBound
+}
+
+// colRestProbe is one unindexable client (evaluated per surviving row),
+// with a vectorized fast path for single constant-LIKE predicates — the
+// dominant rest-class shape in the TPC-W search statements.
+type colRestProbe struct {
+	pred       expr.Expr
+	ci         int32
+	likeOK     bool
+	likeCol    int
+	likeShape  expr.LikeShape
+	likeNeedle string
+	likeNeg    bool
+}
+
+// colClientOrd pins the qid order of the bitmap slots.
+type colClientOrd struct {
+	id  queryset.QueryID
+	idx int32
+}
+
+// colIndex is the per-cycle columnar query index. All slices and maps are
+// reused across cycles (the flat probe arena plus cleared bucket maps), so
+// a steady-state index rebuild allocates nothing.
+type colIndex struct {
+	ids      []queryset.QueryID // bitmap slot → query id, ascending
+	ord      []colClientOrd
+	eqCols   []colEqCol
+	eqProbes []colEqProbe
+	rngs     []colRangeProbe
+	rest     []colRestProbe
+}
+
+// build classifies every client exactly like buildPredIndex: the first
+// equality conjunct wins, else the first range conjunct, else the whole
+// predicate is a rest probe; the remaining conjuncts form the residual.
+// Clients are slotted in ascending query-id order so the per-row gather
+// emits sorted id sets without a sort.
+func (ix *colIndex) build(clients []ScanClient) {
+	ix.ord = ix.ord[:0]
+	for i, c := range clients {
+		ix.ord = append(ix.ord, colClientOrd{id: c.ID, idx: int32(i)})
+	}
+	slices.SortStableFunc(ix.ord, func(a, b colClientOrd) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	ix.ids = ix.ids[:0]
+	for i := range ix.eqCols {
+		clear(ix.eqCols[i].heads)
+	}
+	ix.eqCols = ix.eqCols[:0]
+	ix.eqProbes = ix.eqProbes[:0]
+	ix.rngs = ix.rngs[:0]
+	ix.rest = ix.rest[:0]
+
+	for ci, o := range ix.ord {
+		c := clients[o.idx]
+		ix.ids = append(ix.ids, c.ID)
+		conjs := expr.Conjuncts(c.Pred)
+		eqAt, rngAt := -1, -1
+		for i, cj := range conjs {
+			if _, _, ok := expr.EqualityMatch(cj); ok {
+				eqAt = i
+				break
+			}
+			if rngAt < 0 {
+				if _, ok := expr.RangeMatch(cj); ok {
+					rngAt = i
+				}
+			}
+		}
+		switch {
+		case eqAt >= 0:
+			col, val, _ := expr.EqualityMatch(conjs[eqAt])
+			residual := expr.AndOf(removeAt(conjs, eqAt))
+			ec := ix.eqCol(col)
+			h := val.Hash()
+			ix.eqProbes = append(ix.eqProbes, colEqProbe{val: val, residual: residual, ci: int32(ci), next: ec.heads[h]})
+			ec.heads[h] = int32(len(ix.eqProbes)) // 1-based
+		case rngAt >= 0:
+			rng, _ := expr.RangeMatch(conjs[rngAt])
+			residual := expr.AndOf(removeAt(conjs, rngAt))
+			ix.rngs = append(ix.rngs, colRangeProbe{col: rng.Col, rng: rng, residual: residual, ci: int32(ci)})
+		default:
+			p := colRestProbe{pred: c.Pred, ci: int32(ci)}
+			if c.Pred != nil {
+				if col, shape, needle, neg, ok := expr.PlainLike(c.Pred); ok {
+					p.likeOK, p.likeCol, p.likeShape, p.likeNeedle, p.likeNeg = true, col, shape, needle, neg
+				}
+			}
+			ix.rest = append(ix.rest, p)
+		}
+	}
+}
+
+// eqCol finds or creates the equality index for col, reusing bucket maps
+// from previous cycles.
+func (ix *colIndex) eqCol(col int) *colEqCol {
+	for i := range ix.eqCols {
+		if ix.eqCols[i].col == col {
+			return &ix.eqCols[i]
+		}
+	}
+	if len(ix.eqCols) < cap(ix.eqCols) {
+		ix.eqCols = ix.eqCols[:len(ix.eqCols)+1]
+		ec := &ix.eqCols[len(ix.eqCols)-1]
+		ec.col = col
+		if ec.heads == nil {
+			ec.heads = map[uint64]int32{}
+		}
+		return ec
+	}
+	ix.eqCols = append(ix.eqCols, colEqCol{col: col, heads: map[uint64]int32{}})
+	return &ix.eqCols[len(ix.eqCols)-1]
+}
+
+// prepare compiles the range bounds against the mirror's current column
+// representations. Caller holds the mirror lock (shared suffices: reps only
+// change under the exclusive sync).
+func (ix *colIndex) prepare(m *colMirror) {
+	for i := range ix.rngs {
+		p := &ix.rngs[i]
+		c := &m.cols[p.col]
+		p.lo = compileBound(c, p.rng.Lo, p.rng.LoIncl, false)
+		p.hi = compileBound(c, p.rng.Hi, p.rng.HiIncl, true)
+	}
+}
+
+// compileBound turns one side of a Range into a typed check against a
+// column vector. A NULL bound is unbounded (Range.Contains skips it). For a
+// bound whose kind is incomparable with the column's uniform kind the
+// three-way compare degenerates to the constant kind-tag order, making the
+// check pass or fail for every non-NULL row at once.
+func compileBound(c *colVec, b types.Value, incl, isHi bool) colBound {
+	if b.IsNull() || c.rep == repGeneric {
+		return colBound{mode: cbNone}
+	}
+	switch c.rep {
+	case repI64:
+		if colNumericKind(b.K) {
+			if b.K == types.KindFloat {
+				return colBound{mode: cbF64, f: b.Float, incl: incl}
+			}
+			return colBound{mode: cbI64, i: b.Int, incl: incl}
+		}
+	case repF64:
+		if colNumericKind(b.K) {
+			return colBound{mode: cbF64, f: b.AsFloat(), incl: incl}
+		}
+	case repStr:
+		if b.K == types.KindString {
+			return colBound{mode: cbStr, s: b.Str, incl: incl}
+		}
+	}
+	// Incomparable kinds: Value.Compare orders by kind tag.
+	d := cmpKindTag(c.kind, b.K)
+	if isHi {
+		if d > 0 {
+			return colBound{mode: cbFail}
+		}
+		return colBound{mode: cbNone}
+	}
+	if d < 0 {
+		return colBound{mode: cbFail}
+	}
+	return colBound{mode: cbNone}
+}
+
+func cmpKindTag(a, b types.Kind) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Bound checks per representation. d-from-Compare semantics: a row fails a
+// lower bound when v.Compare(lo) < 0 (or == 0 when exclusive), and a higher
+// bound symmetrically.
+
+func (b *colBound) okLoI64(x int64) bool {
+	switch b.mode {
+	case cbFail:
+		return false
+	case cbI64:
+		return x > b.i || (x == b.i && b.incl)
+	case cbF64:
+		d := cmpF64(float64(x), b.f)
+		return d > 0 || (d == 0 && b.incl)
+	}
+	return true
+}
+
+func (b *colBound) okHiI64(x int64) bool {
+	switch b.mode {
+	case cbFail:
+		return false
+	case cbI64:
+		return x < b.i || (x == b.i && b.incl)
+	case cbF64:
+		d := cmpF64(float64(x), b.f)
+		return d < 0 || (d == 0 && b.incl)
+	}
+	return true
+}
+
+func (b *colBound) okLoF64(x float64) bool {
+	switch b.mode {
+	case cbFail:
+		return false
+	case cbF64:
+		d := cmpF64(x, b.f)
+		return d > 0 || (d == 0 && b.incl)
+	}
+	return true
+}
+
+func (b *colBound) okHiF64(x float64) bool {
+	switch b.mode {
+	case cbFail:
+		return false
+	case cbF64:
+		d := cmpF64(x, b.f)
+		return d < 0 || (d == 0 && b.incl)
+	}
+	return true
+}
+
+func (b *colBound) okLoStr(x string) bool {
+	switch b.mode {
+	case cbFail:
+		return false
+	case cbStr:
+		return x > b.s || (x == b.s && b.incl)
+	}
+	return true
+}
+
+func (b *colBound) okHiStr(x string) bool {
+	switch b.mode {
+	case cbFail:
+		return false
+	case cbStr:
+		return x < b.s || (x == b.s && b.incl)
+	}
+	return true
+}
+
+// colEqMatch verifies a hash-bucket candidate: the typed-coerced equality
+// Value.Equal would compute, without boxing the row value.
+func colEqMatch(c *colVec, row types.Row, col, pos int, val types.Value) bool {
+	if c.rep == repGeneric {
+		return val.Equal(row[col])
+	}
+	valid := c.valid[pos>>6]&(1<<(pos&63)) != 0
+	if val.IsNull() {
+		return !valid
+	}
+	if !valid {
+		return false
+	}
+	switch c.rep {
+	case repI64:
+		if !colNumericKind(val.K) {
+			return false
+		}
+		if val.K == types.KindFloat {
+			return cmpF64(float64(c.i64[pos]), val.Float) == 0
+		}
+		return c.i64[pos] == val.Int
+	case repF64:
+		if !colNumericKind(val.K) {
+			return false
+		}
+		return cmpF64(c.f64[pos], val.AsFloat()) == 0
+	case repStr:
+		return val.K == types.KindString && c.str[pos] == val.Str
+	}
+	return false
+}
+
+// colBitmaps is one partition's per-chunk selection state: one bitmap per
+// client (slot order = ascending qid), sized to the chunk word count.
+type colBitmaps struct {
+	per [][]uint64
+}
+
+func (b *colBitmaps) ensure(nclients, words int) {
+	for len(b.per) < nclients {
+		b.per = append(b.per, nil)
+	}
+	for ci := 0; ci < nclients; ci++ {
+		if len(b.per[ci]) < words {
+			b.per[ci] = make([]uint64, colChunkRows/64)
+		}
+		clear(b.per[ci][:words])
+	}
+}
+
+// colPartScratch is one partition's reusable buffers in a columnar scan
+// (the analog of partScratch).
+type colPartScratch struct {
+	hits  []scanHit
+	arena queryset.Arena
+	ids   []queryset.QueryID
+	bits  colBitmaps
+}
+
+// ColScanBuffers is the reusable per-cycle state of a pooled columnar scan:
+// the query index (flat probe arenas, cleared bucket maps) and per-partition
+// bitmaps, hit buffers and query-id arenas. One instance is owned by each
+// scan operator node and reused across generations, so the steady-state
+// chunk loop allocates nothing.
+type ColScanBuffers struct {
+	idx   colIndex
+	parts []colPartScratch
+}
+
+// SharedScanColumnar executes one columnar ClockScan cycle at snapshot ts.
+// See the file comment for the contract; emission is bit-identical to
+// sharedScan at any worker count.
+func (t *Table) SharedScanColumnar(ts uint64, clients []ScanClient, workers int, bufs *ColScanBuffers, emit func(rid RowID, row types.Row, qs queryset.Set)) {
+	if len(clients) == 0 {
+		return
+	}
+	m := t.columnarMirror()
+	m.pin(t, ts) // returns holding m.mu shared
+	pooled := bufs != nil
+	if !pooled {
+		bufs = &ColScanBuffers{}
+	}
+	ix := &bufs.idx
+	ix.build(clients)
+	ix.prepare(m)
+
+	n := len(m.rids)
+	if n == 0 {
+		m.mu.RUnlock()
+		return
+	}
+	if workers > 1 && n < minParallelScanRows {
+		workers = 1 // same tiny-table clamp as the row path
+	}
+	nchunks := (n + colChunkRows - 1) / colChunkRows
+
+	if workers <= 1 {
+		for len(bufs.parts) < 1 {
+			bufs.parts = append(bufs.parts, colPartScratch{})
+		}
+		ps := &bufs.parts[0]
+		for ch := 0; ch < nchunks; ch++ {
+			base := ch * colChunkRows
+			end := min(base+colChunkRows, n)
+			ix.runChunk(m, base, end, ps, func(pos int, ids []queryset.QueryID) {
+				if pooled {
+					// Borrowed set, valid during emit only — ids are already
+					// sorted (gather walks bitmap slots in qid order).
+					emit(m.rids[pos], m.rows[pos], queryset.FromSorted(ids))
+				} else {
+					emit(m.rids[pos], m.rows[pos], queryset.Of(ids...))
+				}
+			})
+		}
+		m.mu.RUnlock()
+		return
+	}
+
+	bounds := par.Split(nchunks, workers)
+	nparts := len(bounds) - 1
+	for len(bufs.parts) < nparts {
+		bufs.parts = append(bufs.parts, colPartScratch{})
+	}
+	par.Do(workers, nparts, func(w int) {
+		ps := &bufs.parts[w]
+		ps.arena.Reset()
+		ps.hits = ps.hits[:0]
+		sink := func(pos int, ids []queryset.QueryID) {
+			ps.hits = append(ps.hits, scanHit{rid: m.rids[pos], row: m.rows[pos], qs: ps.arena.Append(queryset.FromSorted(ids))})
+		}
+		for ch := bounds[w]; ch < bounds[w+1]; ch++ {
+			base := ch * colChunkRows
+			end := min(base+colChunkRows, n)
+			ix.runChunk(m, base, end, ps, sink)
+		}
+	})
+	m.mu.RUnlock()
+	// Partitions are contiguous ascending chunk ranges, so partition-order
+	// replay is position order = RowID order.
+	for w := 0; w < nparts; w++ {
+		for _, h := range bufs.parts[w].hits {
+			emit(h.rid, h.row, h.qs)
+		}
+		if pooled {
+			clear(bufs.parts[w].hits)
+			bufs.parts[w].hits = bufs.parts[w].hits[:0]
+		}
+	}
+}
+
+// runChunk evaluates every probe class over rows [base, end) and hands each
+// selected position with its sorted borrowed query-id list to sink. base is
+// a multiple of colChunkRows (word-aligned into the bitmaps).
+func (ix *colIndex) runChunk(m *colMirror, base, end int, ps *colPartScratch, sink func(pos int, ids []queryset.QueryID)) {
+	nb := end - base
+	words := (nb + 63) >> 6
+	baseW := base >> 6
+	liveW := m.live[baseW : baseW+words]
+	nc := len(ix.ids)
+	ps.bits.ensure(nc, words)
+	per := ps.bits.per
+
+	// Equality probes: hash the column chunk, probe the per-value lists.
+	for eci := range ix.eqCols {
+		ec := &ix.eqCols[eci]
+		c := &m.cols[ec.col]
+		for w := 0; w < words; w++ {
+			bw := liveW[w]
+			for bw != 0 {
+				tz := bits.TrailingZeros64(bw)
+				bw &= bw - 1
+				pos := base + w<<6 + tz
+				var h uint64
+				switch c.rep {
+				case repI64:
+					if c.valid[pos>>6]&(1<<(pos&63)) != 0 {
+						h = colHash64(uint64(c.i64[pos]))
+					} else {
+						h = colHashNull
+					}
+				case repF64:
+					if c.valid[pos>>6]&(1<<(pos&63)) != 0 {
+						h = colHashF64(c.f64[pos])
+					} else {
+						h = colHashNull
+					}
+				case repStr:
+					if c.valid[pos>>6]&(1<<(pos&63)) != 0 {
+						h = colHashStr(c.str[pos])
+					} else {
+						h = colHashNull
+					}
+				default:
+					h = m.rows[pos][ec.col].Hash()
+				}
+				for pi := ec.heads[h]; pi != 0; {
+					p := &ix.eqProbes[pi-1]
+					pi = p.next
+					if colEqMatch(c, m.rows[pos], ec.col, pos, p.val) &&
+						(p.residual == nil || expr.TruthyEval(p.residual, m.rows[pos], nil)) {
+						per[p.ci][w] |= 1 << tz
+					}
+				}
+			}
+		}
+	}
+
+	// Range probes: typed vector compare, no boxing.
+	for ri := range ix.rngs {
+		p := &ix.rngs[ri]
+		c := &m.cols[p.col]
+		out := per[p.ci]
+		if c.rep == repGeneric {
+			for w := 0; w < words; w++ {
+				bw := liveW[w]
+				for bw != 0 {
+					tz := bits.TrailingZeros64(bw)
+					bw &= bw - 1
+					pos := base + w<<6 + tz
+					row := m.rows[pos]
+					if p.rng.Contains(row[p.col]) &&
+						(p.residual == nil || expr.TruthyEval(p.residual, row, nil)) {
+						out[w] |= 1 << tz
+					}
+				}
+			}
+			continue
+		}
+		if p.lo.mode == cbFail || p.hi.mode == cbFail {
+			continue
+		}
+		for w := 0; w < words; w++ {
+			// NULL rows never satisfy a range (Contains rejects NULL first).
+			bw := liveW[w] & c.valid[baseW+w]
+			for bw != 0 {
+				tz := bits.TrailingZeros64(bw)
+				bw &= bw - 1
+				pos := base + w<<6 + tz
+				ok := false
+				switch c.rep {
+				case repI64:
+					x := c.i64[pos]
+					ok = p.lo.okLoI64(x) && p.hi.okHiI64(x)
+				case repF64:
+					x := c.f64[pos]
+					ok = p.lo.okLoF64(x) && p.hi.okHiF64(x)
+				case repStr:
+					x := c.str[pos]
+					ok = p.lo.okLoStr(x) && p.hi.okHiStr(x)
+				}
+				if ok && (p.residual == nil || expr.TruthyEval(p.residual, m.rows[pos], nil)) {
+					out[w] |= 1 << tz
+				}
+			}
+		}
+	}
+
+	// Rest probes: select-all copies the live words; single constant-LIKE
+	// predicates over a string vector match without Eval; everything else
+	// evaluates per row.
+	for ri := range ix.rest {
+		p := &ix.rest[ri]
+		out := per[p.ci]
+		if p.pred == nil {
+			copy(out[:words], liveW)
+			continue
+		}
+		if p.likeOK {
+			if c := &m.cols[p.likeCol]; c.rep == repStr {
+				strs := c.str
+				for w := 0; w < words; w++ {
+					// A NULL lhs makes LIKE evaluate to NULL → false, negated
+					// or not, so invalid positions never match.
+					bw := liveW[w] & c.valid[baseW+w]
+					for bw != 0 {
+						tz := bits.TrailingZeros64(bw)
+						bw &= bw - 1
+						s := strs[base+w<<6+tz]
+						var okm bool
+						switch p.likeShape {
+						case expr.LikeExact:
+							okm = s == p.likeNeedle
+						case expr.LikePrefix:
+							okm = strings.HasPrefix(s, p.likeNeedle)
+						case expr.LikeSuffix:
+							okm = strings.HasSuffix(s, p.likeNeedle)
+						case expr.LikeContains:
+							okm = strings.Contains(s, p.likeNeedle)
+						default:
+							okm = expr.MatchLike(p.likeNeedle, s)
+						}
+						if okm != p.likeNeg {
+							out[w] |= 1 << tz
+						}
+					}
+				}
+				continue
+			}
+		}
+		for w := 0; w < words; w++ {
+			bw := liveW[w]
+			for bw != 0 {
+				tz := bits.TrailingZeros64(bw)
+				bw &= bw - 1
+				pos := base + w<<6 + tz
+				if expr.TruthyEval(p.pred, m.rows[pos], nil) {
+					out[w] |= 1 << tz
+				}
+			}
+		}
+	}
+
+	// Gather: walk selected positions in order; per position, collect the
+	// interested clients in slot (= ascending qid) order.
+	for w := 0; w < words; w++ {
+		var anyw uint64
+		for ci := 0; ci < nc; ci++ {
+			anyw |= per[ci][w]
+		}
+		for anyw != 0 {
+			tz := bits.TrailingZeros64(anyw)
+			anyw &= anyw - 1
+			mask := uint64(1) << tz
+			ids := ps.ids[:0]
+			for ci := 0; ci < nc; ci++ {
+				if per[ci][w]&mask != 0 {
+					ids = append(ids, ix.ids[ci])
+				}
+			}
+			ps.ids = ids
+			sink(base+w<<6+tz, ids)
+		}
+	}
+}

@@ -67,6 +67,13 @@ type Table struct {
 	slots   []*version
 	indexes []*Index
 	pk      *Index // primary-key index, also present in indexes
+
+	// colm is the columnar read mirror (colstore.go), attached lazily by
+	// the first SharedScanColumnar. Once attached, every mutation below
+	// appends a (rid, ts) record to its pending log — see colMirror for the
+	// locking contract (the log is guarded by mu, the mirror by its own
+	// lock, so writers never block on scans).
+	colm *colMirror
 }
 
 // NewTable creates an empty table.
@@ -179,6 +186,7 @@ func (t *Table) insertLocked(row types.Row, ts uint64) RowID {
 	for _, ix := range t.indexes {
 		ix.tree.Insert(ix.KeyFor(row), rid)
 	}
+	t.recordWrite(rid, ts)
 	return rid
 }
 
@@ -195,11 +203,13 @@ func (t *Table) updateLocked(rid RowID, newRow types.Row, ts uint64) {
 			ix.tree.Insert(newKey, rid)
 		}
 	}
+	t.recordWrite(rid, ts)
 }
 
 // deleteLocked seals the head version of rid at ts. Caller holds mu.
 func (t *Table) deleteLocked(rid RowID, ts uint64) {
 	t.slots[rid].endTS = ts
+	t.recordWrite(rid, ts)
 }
 
 // Visible returns the version of rid visible at snapshot ts.

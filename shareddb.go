@@ -78,6 +78,24 @@ type Config struct {
 	// values are rejected by Open. Per-query results are identical at any
 	// setting.
 	Workers int
+	// ColumnarScan switches shared table scans from the row-store ClockScan
+	// to a delta-maintained columnar mirror: typed flat vectors per column
+	// with a validity bitmap, kept up to date from each generation's write
+	// delta and scanned with vectorized predicate evaluation (equality
+	// probes hash whole column chunks, ranges compare typed slices without
+	// boxing). Results are bit-identical to the row path — same rows, same
+	// order, same per-query assignment — only scan throughput changes. Off
+	// (false), the scan path is byte-identical to the row-store engine. See
+	// README "Columnar execution".
+	ColumnarScan bool
+	// ShardWorkers overrides the per-shard worker budget on sharded
+	// deployments: by default each shard engine receives a disjoint
+	// GOMAXPROCS/Shards share of the machine so shards do not contend for
+	// the same cores; a positive value gives every shard exactly that many
+	// workers instead (oversubscribing or isolating cores explicitly).
+	// 0 selects the split; negative values are rejected by Open. Ignored
+	// when Shards <= 1.
+	ShardWorkers int
 	// MaxGenerationDelay is the per-generation latency SLO (the paper's
 	// response-time limit). When set, batch formation caps each generation
 	// at the size predicted — from observed cycle times — to finish within
@@ -179,6 +197,8 @@ func (c Config) coreConfig() core.Config {
 		MaxBatch:               c.MaxBatch,
 		MaxInFlightGenerations: c.MaxInFlightGenerations,
 		Workers:                c.Workers,
+		ColumnarScan:           c.ColumnarScan,
+		ShardWorkers:           c.ShardWorkers,
 		MaxGenerationDelay:     c.MaxGenerationDelay,
 		QueueDepthLimit:        c.QueueDepthLimit,
 		StatementQuota:         c.StatementQuota,
