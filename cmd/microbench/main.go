@@ -35,6 +35,8 @@ func main() {
 	columnar := flag.Bool("columnar", false, "scan the delta-maintained columnar mirror instead of the row store")
 	shardWorkers := flag.Int("shard-workers", 0, "workers per shard engine (0 = GOMAXPROCS/shards split)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable scan/join/sort/TPC-W-mix benchmark baseline on stdout")
+	warmup := flag.Int("warmup", 1, "untimed warm-up batches per -json statement bench (free lists, columnar mirror, batch pool)")
+	count := flag.Int("count", 1, "timed runs per -json statement bench; the median ns/op is reported")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -48,7 +50,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		exitOn(runJSONBench(opts))
+		exitOn(runJSONBench(opts, *warmup, *count))
 		return
 	}
 

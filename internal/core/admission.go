@@ -39,12 +39,24 @@
 // completion, so with MaxInFlightGenerations > 1 it includes contention
 // from overlapping generations. That is deliberate — the SLO bounds what
 // the client observes, and a pipeline saturated enough to blow it IS
-// overload — but it means sustained saturation strikes every active
-// statement, not just the slow plan: the breaker then acts as a crude
-// load governor (trip → load drops → probes meet the SLO → reset) rather
-// than a precise culprit finder. Size the SLO with the pipeline depth in
-// mind, or run MaxInFlightGenerations=1 for per-plan attribution
-// (per-operator cost attribution is a ROADMAP follow-on).
+// overload. Blame, however, is cost-attributed, not generation-grained:
+// the engine times every operator cycle (operators.CycleStart.CostObserve)
+// and splits each node's active time equally across the statements whose
+// queries were active there. When a blown generation carries attribution,
+// only statements whose share is at or above the generation's per-statement
+// average are struck; below-average statements are SPARED — their breaker
+// state is cleared, exactly as if they had run in an SLO-met generation —
+// so a light query co-batched with a heavy one never trips. Generations
+// without attribution (cost observing needs the SLO breaker on; write-only
+// generations report none) fall back to striking every statement.
+//
+// The attributed costs also feed per-statement cost rings (last
+// costRingSamples generations, p75 predictor), which sharpen the SLO batch
+// cap: batch formation walks the queue accumulating each statement's
+// predicted cost — charging each distinct statement once, since shared
+// execution folds duplicate activations into the same operator work — and
+// sheds the strict positional suffix past the budget (adaptive SLO). With
+// no per-statement history the cap falls back to the uniform EWMA estimate.
 //
 // All admission state is guarded by the engine mutex: every method on
 // admission must be called with Engine.mu held. With every knob at its
@@ -56,6 +68,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"shareddb/internal/plan"
@@ -162,7 +175,8 @@ type admission struct {
 	// (same text ⇒ same shared operators).
 	costNs       float64 // EWMA of per-request generation cost in ns
 	breakers     map[string]*breaker
-	quotaScratch map[string]int // formBatch per-call counts, reused
+	stmtCost     map[string]*costRing // per-statement attributed cycle cost
+	quotaScratch map[string]int       // formBatch per-call counts, reused
 
 	shed     uint64
 	rejected uint64
@@ -206,8 +220,49 @@ func newAdmission(cfg Config) *admission {
 		cooldown:     cooldown,
 		now:          time.Now,
 		breakers:     map[string]*breaker{},
+		stmtCost:     map[string]*costRing{},
 		quotaScratch: map[string]int{},
 	}
+}
+
+// costRingSamples is how many recent generations of attributed cost each
+// statement retains for the adaptive SLO predictor.
+const costRingSamples = 8
+
+// costRing is one statement's bounded history of attributed per-generation
+// cycle cost (nanoseconds).
+type costRing struct {
+	samples [costRingSamples]float64
+	n, idx  int
+}
+
+func (r *costRing) push(v float64) {
+	r.samples[r.idx] = v
+	r.idx = (r.idx + 1) % costRingSamples
+	if r.n < costRingSamples {
+		r.n++
+	}
+}
+
+// predict estimates the statement's next-generation cost: the p75 of the
+// retained samples (robust to a single outlier generation in either
+// direction) once at least four exist, the mean before that.
+func (r *costRing) predict() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	if r.n < 4 {
+		var sum float64
+		for i := 0; i < r.n; i++ {
+			sum += r.samples[i]
+		}
+		return sum / float64(r.n)
+	}
+	var buf [costRingSamples]float64
+	copy(buf[:], r.samples[:r.n])
+	s := buf[:r.n]
+	sort.Float64s(s)
+	return s[len(s)*3/4]
 }
 
 // admit decides whether one submission may join the queue at the given
@@ -314,6 +369,46 @@ func (a *admission) sloCap() int {
 	return n
 }
 
+// sloLimit picks the largest batch prefix predicted to finish inside the
+// SLO (0 = no cap). With per-statement cost history (the engine's cycle
+// attribution) it walks the queue accumulating each request's predicted
+// cost — charging each distinct statement once, since shared execution
+// folds duplicate activations into the same operator pass — and cuts at
+// the first request past the budget, a strict positional suffix shed.
+// Requests with no history are charged the uniform EWMA estimate. Without
+// any per-statement history it falls back to the EWMA-only sloCap.
+func (a *admission) sloLimit(pending []*Request) int {
+	if a.maxDelay <= 0 {
+		return 0
+	}
+	if len(a.stmtCost) == 0 {
+		return a.sloCap()
+	}
+	budget := float64(a.maxDelay)
+	var acc float64
+	charged := make(map[string]bool, len(pending))
+	for i, r := range pending {
+		var c float64
+		if r.Stmt != nil {
+			if ring := a.stmtCost[r.Stmt.SQL]; ring != nil {
+				if !charged[r.Stmt.SQL] {
+					charged[r.Stmt.SQL] = true
+					c = ring.predict()
+				}
+			} else {
+				c = a.costNs
+			}
+		} else {
+			c = a.costNs
+		}
+		acc += c
+		if acc > budget && i > 0 {
+			return i // a generation always admits at least one request
+		}
+	}
+	return 0
+}
+
 // formBatch partitions the pending queue into the batch this generation
 // admits and the remainder shed to the next one, preserving arrival order
 // in both. maxBatch is Config.MaxBatch (applied here so the admission and
@@ -327,7 +422,7 @@ func (a *admission) formBatch(pending []*Request, maxBatch int) (batch, rest []*
 	// Only admission-driven deferrals count as shed: a MaxBatch trim is
 	// the legacy cap and was never reported before admission existed.
 	sloLimited := false
-	if c := a.sloCap(); c > 0 && c < limit {
+	if c := a.sloLimit(pending); c > 0 && c < limit {
 		limit = c
 		sloLimited = true
 	}
@@ -376,11 +471,25 @@ func (a *admission) formBatch(pending []*Request, maxBatch int) (batch, rest []*
 // statements' entries, so a healthy workload stays far below the cap.
 const maxBreakers = 4096
 
-// recordGeneration feeds one completed generation back into the
-// controller: the cost EWMA that sizes future batches, and — for
-// read-bearing generations — a strike (or reset) for every distinct read
-// statement the generation contained (write-only generations pass nil).
+// recordGeneration is recordGenerationCosts without attribution (kept for
+// call sites and tests that predate per-statement costing).
 func (a *admission) recordGeneration(stmts []*plan.Statement, d time.Duration, batchSize int) {
+	a.recordGenerationCosts(stmts, d, batchSize, nil)
+}
+
+// recordGenerationCosts feeds one completed generation back into the
+// controller: the cost EWMA that sizes future batches, the per-statement
+// cost rings behind the adaptive SLO cap, and — for read-bearing
+// generations — a strike or a reset for every distinct read statement the
+// generation contained (write-only generations pass nil stmts).
+//
+// costs is the generation's attributed operator time per statement SQL (nil
+// when attribution is off). On a blown generation with attribution, a
+// statement is struck only when its share is at or above the generation's
+// per-statement average; below-average statements are spared AND reset —
+// the attribution is positive evidence they are not the slow plan, so a
+// light query co-batched with a heavy one never accumulates strikes.
+func (a *admission) recordGenerationCosts(stmts []*plan.Statement, d time.Duration, batchSize int, costs map[string]int64) {
 	if batchSize > 0 {
 		per := float64(d) / float64(batchSize)
 		if a.costNs == 0 {
@@ -392,13 +501,40 @@ func (a *admission) recordGeneration(stmts []*plan.Statement, d time.Duration, b
 	if a.maxDelay <= 0 {
 		return
 	}
+	// Adaptive SLO feed: one attributed-cost sample per statement per
+	// generation. Totaled over the generation's statements only — standing
+	// queries are attributed in costs too, but blame among the batch is
+	// relative to the batch.
+	var total int64
+	if costs != nil {
+		for _, s := range stmts {
+			c := costs[s.SQL]
+			total += c
+			if c <= 0 {
+				continue
+			}
+			ring := a.stmtCost[s.SQL]
+			if ring == nil {
+				if len(a.stmtCost) >= maxBreakers {
+					continue
+				}
+				ring = &costRing{}
+				a.stmtCost[s.SQL] = ring
+			}
+			ring.push(float64(c))
+		}
+	}
 	blown := d > a.maxDelay
+	attributed := blown && total > 0
 	for _, s := range stmts {
 		b := a.breakers[s.SQL]
-		if !blown {
-			// Any SLO-met generation containing the statement is evidence
-			// it is not the slow plan: reset (this is also how a successful
-			// half-open probe closes the breaker).
+		spared := !blown ||
+			(attributed && costs[s.SQL]*int64(len(stmts)) < total)
+		if spared {
+			// Either the generation met the SLO, or attribution shows this
+			// statement carried less than its share of a blown one: reset
+			// (this is also how a successful half-open probe closes the
+			// breaker).
 			if b != nil {
 				delete(a.breakers, s.SQL)
 			}

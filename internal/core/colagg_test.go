@@ -1,0 +1,276 @@
+package core
+
+// Columnar-aggregation differential fuzz: the GroupOp pushdown (feeding
+// grouped/DISTINCT/Top-N statements straight from the columnar mirror,
+// bypassing the scan stream) must be bit-identical to the row path — same
+// values, not just float-close — under random schemas, interleaved write
+// deltas and both serial and parallel cycles. Two engines share one storage
+// database: one scans rows, one scans columns; every burst is submitted to
+// both and compared via types.EncodeKey (exact value encoding).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/operators"
+	"shareddb/internal/plan"
+	"shareddb/internal/storage"
+	"shareddb/internal/types"
+)
+
+// colaggTable builds a one-table analytics schema with randomized group-key
+// domains and row count: m_id (PK), m_g int key, m_tag string key, m_v int
+// measure, m_w float measure. Returns the next unused PK for delta inserts.
+func colaggTable(t *testing.T, r *rand.Rand) (*storage.Database, func(), *colaggDomains) {
+	t.Helper()
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("m", types.NewSchema(
+		types.Column{Qualifier: "m", Name: "m_id", Kind: types.KindInt},
+		types.Column{Qualifier: "m", Name: "m_g", Kind: types.KindInt},
+		types.Column{Qualifier: "m", Name: "m_tag", Kind: types.KindString},
+		types.Column{Qualifier: "m", Name: "m_v", Kind: types.KindInt},
+		types.Column{Qualifier: "m", Name: "m_w", Kind: types.KindFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.SetPrimaryKey("m_id"); err != nil {
+		t.Fatal(err)
+	}
+	dom := &colaggDomains{
+		gInt: 2 + r.Intn(20),
+		gStr: 2 + r.Intn(8),
+		vMax: 50 + r.Intn(500),
+	}
+	n := 200 + r.Intn(1000)
+	ops := make([]storage.WriteOp, n)
+	for i := 0; i < n; i++ {
+		ops[i] = storage.WriteOp{Table: "m", Kind: storage.WInsert, Row: dom.row(int64(i), r)}
+	}
+	results, _ := db.ApplyOps(ops)
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	dom.nextID = int64(n)
+	return db, func() { db.Close() }, dom
+}
+
+type colaggDomains struct {
+	gInt, gStr, vMax int
+	nextID           int64
+}
+
+func (d *colaggDomains) row(id int64, r *rand.Rand) types.Row {
+	return types.Row{
+		types.NewInt(id),
+		types.NewInt(int64(r.Intn(d.gInt))),
+		types.NewString(fmt.Sprintf("tag-%d", r.Intn(d.gStr))),
+		types.NewInt(int64(r.Intn(d.vMax))),
+		types.NewFloat(r.Float64() * float64(d.vMax)),
+	}
+}
+
+// delta applies 1..24 random writes (inserts of fresh PKs, measure updates
+// and PK-range deletes) directly through the storage write path, exercising
+// the columnar mirror's delta maintenance between generations.
+func (d *colaggDomains) delta(t *testing.T, db *storage.Database, r *rand.Rand) {
+	t.Helper()
+	n := 1 + r.Intn(24)
+	ops := make([]storage.WriteOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0, 1: // insert
+			ops = append(ops, storage.WriteOp{Table: "m", Kind: storage.WInsert, Row: d.row(d.nextID, r)})
+			d.nextID++
+		case 2: // bump a group's int measure
+			ops = append(ops, storage.WriteOp{Table: "m", Kind: storage.WUpdate,
+				Pred: &expr.Cmp{Op: expr.EQ, L: &expr.ColRef{Idx: 1},
+					R: &expr.Const{Val: types.NewInt(int64(r.Intn(d.gInt)))}},
+				Set: []storage.ColSet{{Col: 3, Val: &expr.Const{Val: types.NewInt(int64(r.Intn(d.vMax)))}}},
+			})
+		default: // delete a thin PK slice
+			lo := r.Int63n(d.nextID)
+			ops = append(ops, storage.WriteOp{Table: "m", Kind: storage.WDelete,
+				Pred: &expr.And{Kids: []expr.Expr{
+					&expr.Cmp{Op: expr.GE, L: &expr.ColRef{Idx: 0}, R: &expr.Const{Val: types.NewInt(lo)}},
+					&expr.Cmp{Op: expr.LT, L: &expr.ColRef{Idx: 0}, R: &expr.Const{Val: types.NewInt(lo + 3)}},
+				}},
+			})
+		}
+	}
+	results, _ := db.ApplyOps(ops)
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+}
+
+// encodeRows renders rows through the exact value encoding — any value
+// difference (including float bits) between the row and columnar paths
+// shows up as a string mismatch.
+func encodeRows(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = types.EncodeKey(r...)
+	}
+	return out
+}
+
+func TestColumnarAggDifferentialFuzz(t *testing.T) {
+	defer operators.DisableAdaptiveWorkersForTest()()
+
+	type template struct {
+		sql     string
+		ordered bool
+		mkParam func(r *rand.Rand, d *colaggDomains) []types.Value
+	}
+	templates := []template{
+		{"SELECT m_g, COUNT(*), SUM(m_v) FROM m WHERE m_v > ? GROUP BY m_g", false,
+			func(r *rand.Rand, d *colaggDomains) []types.Value {
+				return []types.Value{types.NewInt(int64(r.Intn(d.vMax)))}
+			}},
+		{"SELECT m_tag, COUNT(DISTINCT m_g), AVG(m_w) FROM m GROUP BY m_tag", false, nil},
+		// m_g tiebreak pins the Top-N cut; this is the bounded-heap path.
+		{"SELECT m_g, SUM(m_w) AS s FROM m WHERE m_w < ? GROUP BY m_g ORDER BY s DESC, m_g LIMIT 3", true,
+			func(r *rand.Rand, d *colaggDomains) []types.Value {
+				return []types.Value{types.NewFloat(r.Float64() * float64(d.vMax))}
+			}},
+		{"SELECT m_tag, MAX(m_v) FROM m GROUP BY m_tag HAVING COUNT(*) > ?", false,
+			func(r *rand.Rand, d *colaggDomains) []types.Value {
+				return []types.Value{types.NewInt(int64(r.Intn(40)))}
+			}},
+		{"SELECT COUNT(*), SUM(m_v) FROM m WHERE m_g = ?", false,
+			func(r *rand.Rand, d *colaggDomains) []types.Value {
+				return []types.Value{types.NewInt(int64(r.Intn(d.gInt)))}
+			}},
+		{"SELECT MIN(m_w), MAX(m_w), COUNT(*) FROM m", false, nil},
+	}
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(90 + workers)))
+			db, closeDB, dom := colaggTable(t, r)
+			defer closeDB()
+			rowEng := New(db, plan.New(db), Config{Workers: workers})
+			defer rowEng.Close()
+			colEng := New(db, plan.New(db), Config{Workers: workers, ColumnarScan: true})
+			defer colEng.Close()
+
+			rowStmts := make([]*plan.Statement, len(templates))
+			colStmts := make([]*plan.Statement, len(templates))
+			for i, tpl := range templates {
+				rowStmts[i] = mustPrepare(t, rowEng, tpl.sql)
+				colStmts[i] = mustPrepare(t, colEng, tpl.sql)
+			}
+
+			for round := 0; round < 4; round++ {
+				if round > 0 {
+					// Writes land before any submission below, so both
+					// engines' generations read the same snapshot.
+					dom.delta(t, db, r)
+				}
+				n := 8 + r.Intn(24)
+				idxs := make([]int, n)
+				params := make([][]types.Value, n)
+				rowRes := make([]*Result, n)
+				colRes := make([]*Result, n)
+				for i := 0; i < n; i++ {
+					idxs[i] = r.Intn(len(templates))
+					if mk := templates[idxs[i]].mkParam; mk != nil {
+						params[i] = mk(r, dom)
+					}
+					rowRes[i] = rowEng.Submit(rowStmts[idxs[i]], params[i])
+					colRes[i] = colEng.Submit(colStmts[idxs[i]], params[i])
+				}
+				for i := 0; i < n; i++ {
+					tpl := templates[idxs[i]]
+					if err := rowRes[i].Wait(); err != nil {
+						t.Fatalf("round %d row-path %q: %v", round, tpl.sql, err)
+					}
+					if err := colRes[i].Wait(); err != nil {
+						t.Fatalf("round %d columnar %q: %v", round, tpl.sql, err)
+					}
+					got := encodeRows(colRes[i].Rows)
+					want := encodeRows(rowRes[i].Rows)
+					if !tpl.ordered {
+						// Group emission order is not part of the contract;
+						// the encoded values are compared exactly.
+						sort.Strings(got)
+						sort.Strings(want)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("round %d %q params %v: columnar %d rows, row path %d rows",
+							round, tpl.sql, params[i], len(got), len(want))
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("round %d %q params %v row %d:\ncolumnar: %q\nrow path: %q",
+								round, tpl.sql, params[i], j, got[j], want[j])
+						}
+					}
+				}
+			}
+			if colEng.Plan().ColAggCycles() == 0 {
+				t.Fatal("columnar engine never ran an aggregation-pushdown cycle — the fuzz exercised nothing")
+			}
+		})
+	}
+}
+
+// TestBreakerSparesLightStatement pins the cost-attribution contract end to
+// end: a cheap point query co-batched with a statement that blows the
+// generation SLO must never be struck — attribution blames the statement
+// that burned the cycles, and a below-average share is positive evidence of
+// innocence (its breaker entry is reset, not advanced).
+func TestBreakerSparesLightStatement(t *testing.T) {
+	db, closeDB := bigTable(t, 6000)
+	defer closeDB()
+	const (
+		heavySQL = "SELECT b_id FROM big WHERE b_pad LIKE '%x%' ORDER BY b_val"
+		lightSQL = "SELECT b_val FROM big WHERE b_id = ?"
+	)
+	e := New(db, plan.New(db), Config{
+		MaxGenerationDelay:     2 * time.Millisecond,
+		BreakerStrikes:         2,
+		BreakerCooldown:        time.Minute, // no half-open probes during the test
+		MaxInFlightGenerations: 1,
+		Heartbeat:              500 * time.Microsecond,
+	})
+	defer e.Close()
+	heavy := mustPrepare(t, e, heavySQL)
+	light := mustPrepare(t, e, lightSQL)
+
+	for round := 0; round < 8; round++ {
+		// A plug occupies the single in-flight generation slot so the next
+		// two submissions queue up and co-batch into one generation.
+		plug := e.Submit(heavy, nil)
+		h := e.Submit(heavy, nil)
+		l := e.Submit(light, []types.Value{types.NewInt(int64(round))})
+		plug.Wait() // heavy is allowed (expected, eventually) to be rejected
+		h.Wait()
+		if err := l.Wait(); err != nil {
+			t.Fatalf("round %d: light statement rejected: %v", round, err)
+		}
+	}
+
+	if trips := e.AdmissionStats().BreakerTrips; trips == 0 {
+		t.Fatal("the heavy statement never tripped the breaker — the fixture is not slow enough to test blame")
+	}
+	if err := e.AdmitStatement(heavySQL); err == nil {
+		t.Fatal("heavy statement must be quarantined after repeated blown generations")
+	}
+	if err := e.AdmitStatement(lightSQL); err != nil {
+		t.Fatalf("light statement must stay admitted, got %v", err)
+	}
+}

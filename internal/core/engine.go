@@ -88,6 +88,13 @@ type Config struct {
 	// 0 selects the split; negative values are rejected by Config.Validate.
 	// Single-engine deployments ignore it.
 	ShardWorkers int
+	// PoolAffinity, when non-nil, runs once on each of the engine's
+	// persistent worker goroutines at pool start (par.Pool) — the hook a
+	// deployment uses to pin workers to a CPU/NUMA range (e.g. with
+	// unix.SchedSetaffinity). The engine owns a pool of exactly Workers
+	// goroutines (per shard, on sharded builds — the ShardWorkers split
+	// decides the size), so affinity composes with explicit core isolation.
+	PoolAffinity func(worker int)
 
 	// MaxGenerationDelay is the per-generation latency SLO (the paper's
 	// response-time limit): batch formation caps each generation at the
@@ -159,7 +166,16 @@ type Engine struct {
 	gen     uint64
 
 	workers int        // resolved Config.Workers (immutable after New)
+	pool    *par.Pool  // engine-owned persistent worker pool (closed on Close)
 	adm     *admission // admission controller; nil when every limit is zero
+
+	// Cost attribution (nil unless the SLO breaker is on): per-generation
+	// records filled by the plan's cost observer from operator goroutines,
+	// consumed by the generation's completion callback. Guarded by costMu —
+	// deliberately separate from mu, which the observer must never touch
+	// (operator goroutines report while the dispatcher holds mu elsewhere).
+	costMu   sync.Mutex
+	genCosts map[uint64]*genCostRec
 	// reserved counts queue slots handed out by AdmitReserve but not yet
 	// consumed by SubmitReserved/SubmitTxReserved (the shard router's
 	// all-or-nothing broadcast admission). Guarded by mu; counted against
@@ -268,6 +284,7 @@ func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 		e.maxInFlight = 1
 	}
 	e.workers = par.Resolve(cfg.Workers)
+	e.pool = par.NewPool(e.workers, cfg.PoolAffinity)
 	e.adm = newAdmission(cfg)
 	if cfg.FoldQueries {
 		e.foldIdx = make(map[uint64][]*Request)
@@ -277,6 +294,13 @@ func New(db *storage.Database, gp *plan.GlobalPlan, cfg Config) *Engine {
 	}
 	gp.SetWorkers(e.workers)
 	gp.SetColumnar(cfg.ColumnarScan)
+	gp.SetWorkerPool(e.pool)
+	if e.adm != nil && e.adm.maxDelay > 0 {
+		// The slow-query breaker is on: attribute operator cycle time to
+		// statements so blame lands on the plan that burned the cycles.
+		e.genCosts = make(map[uint64]*genCostRec)
+		gp.SetCostObserver(e.observeCost)
+	}
 	e.cond = sync.NewCond(&e.mu)
 	gp.Start()
 	go e.loop()
@@ -321,6 +345,41 @@ func (e *Engine) Close() {
 		e.incPinned = false
 	}
 	e.plan.Stop()
+	e.pool.Close()
+}
+
+// genCostRec accumulates one generation's attributed operator time: each
+// node cycle's active nanoseconds split equally across the cycle's tasks and
+// summed per statement SQL (the breaker's identity).
+type genCostRec struct {
+	qidSQL map[queryset.QueryID]string
+	ns     map[string]int64
+}
+
+// observeCost is the plan's cost-attribution hook (plan.SetCostObserver),
+// called from operator goroutines as each node drains a generation. Every
+// node reports before its EOS propagates downstream, so by the time the
+// generation's sink completion callback runs, the record is final.
+func (e *Engine) observeCost(gen uint64, tasks []operators.Task, activeNs int64) {
+	if activeNs <= 0 || len(tasks) == 0 {
+		return
+	}
+	// Equal split across the cycle's active queries: a shared operator does
+	// one pass of work for all of them, and finer attribution (per-tuple
+	// query-set accounting) would tax the hot path it is trying to protect.
+	share := activeNs / int64(len(tasks))
+	if share <= 0 {
+		return
+	}
+	e.costMu.Lock()
+	if rec := e.genCosts[gen]; rec != nil {
+		for _, t := range tasks {
+			if sql := rec.qidSQL[t.Query]; sql != "" {
+				rec.ns[sql] += share
+			}
+		}
+	}
+	e.costMu.Unlock()
 }
 
 func failRequests(reqs []*Request) {
@@ -944,6 +1003,22 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request, subs []*Subscr
 		r.Result.Schema = r.Stmt.OutSchema
 		r.Result.SnapshotTS = ts
 	}
+	// Register the generation's cost-attribution record (qid → statement
+	// SQL) before any operator can start reporting. Standing queries are
+	// attributed too: their share belongs to them, not to whichever batch
+	// statement happened to co-run.
+	if e.genCosts != nil {
+		qidSQL := make(map[queryset.QueryID]string, nsubs+len(readReqs))
+		for i, s := range subs {
+			qidSQL[queryset.QueryID(i+1)] = s.stmt.SQL
+		}
+		for qid, r := range byQID {
+			qidSQL[qid] = r.Stmt.SQL
+		}
+		e.costMu.Lock()
+		e.genCosts[gen] = &genCostRec{qidSQL: qidSQL, ns: make(map[string]int64)}
+		e.costMu.Unlock()
+	}
 
 	e.plan.RunGeneration(gen, ts, acts, delta,
 		func(stream int, t operators.Tuple) {
@@ -1012,11 +1087,23 @@ func (e *Engine) dispatchGeneration(gen uint64, batch []*Request, subs []*Subscr
 					delivered++
 				}
 			}
+			// Every node reported its cost before its EOS propagated, and
+			// this callback runs after the sink received every EOS — the
+			// record is final; take it out of the live map.
+			var costs map[string]int64
+			if e.genCosts != nil {
+				e.costMu.Lock()
+				if rec := e.genCosts[gen]; rec != nil {
+					costs = rec.ns
+					delete(e.genCosts, gen)
+				}
+				e.costMu.Unlock()
+			}
 			e.mu.Lock()
 			e.queriesRun += uint64(len(readReqs))
 			e.subUpdates += delivered
 			if e.adm != nil {
-				e.adm.recordGeneration(admStmts, time.Since(admStart), len(batch))
+				e.adm.recordGenerationCosts(admStmts, time.Since(admStart), len(batch), costs)
 			}
 			e.mu.Unlock()
 			e.generationDone()

@@ -33,9 +33,25 @@ type GroupOp struct {
 
 	// st is the per-cycle state, owned by the operator and reused across
 	// cycles (a node runs one cycle at a time).
-	st         groupState
-	keyScratch []types.Value
-	single     [1]queryset.QueryID
+	st          groupState
+	keyScratch  []types.Value
+	stepScratch []addStep
+	single      [1]queryset.QueryID
+
+	// entryFree / stateFree recycle a finished cycle's group entries and
+	// per-(group, query) aggregate state slices (refilled in Finish), so the
+	// steady-state rebuild path allocates only for emitted rows once the
+	// free lists have warmed up to the workload's group count.
+	entryFree []*groupEntry
+	stateFree [][]aggState
+
+	// columnar aggregation pushdown (Cycle.Col): the reusable scan buffers
+	// and client list for feeding the aggregation straight from the table's
+	// columnar mirror, plus the aggregate-argument scratch shared with the
+	// serial batch path.
+	colBufs    storage.ColScanBuffers
+	colClients []storage.ScanClient
+	argScratch []types.Value
 
 	// inc is the persistent NodeState (Config.IncrementalState): the group
 	// table plus a per-group RowID-ordered multiset of contributing rows,
@@ -103,19 +119,30 @@ func (a *aggState) add(v types.Value, def AggDef) {
 		}
 		a.distinct[k] = struct{}{}
 	}
-	a.count++
-	switch v.Kind() {
-	case types.KindFloat:
-		a.isFloat = true
-		a.sumF += v.Float
-	case types.KindInt, types.KindBool, types.KindTime:
-		a.sumI += v.Int
-	}
-	if a.min.IsNull() || v.Compare(a.min) < 0 {
-		a.min = v
-	}
-	if a.max.IsNull() || v.Compare(a.max) > 0 {
-		a.max = v
+	// Each kind maintains only the fields its result() reads (and that
+	// incRemoveRow subtracts: count/sumI, for COUNT/SUM/AVG only): COUNT
+	// skips the sums and extrema, SUM/AVG skip the extrema, MIN/MAX skip
+	// the counters. This runs once per (row, query) on the absorb hot path.
+	switch def.Kind {
+	case AggCount:
+		a.count++
+	case AggSum, AggAvg:
+		a.count++
+		switch v.Kind() {
+		case types.KindFloat:
+			a.isFloat = true
+			a.sumF += v.Float
+		case types.KindInt, types.KindBool, types.KindTime:
+			a.sumI += v.Int
+		}
+	case AggMin:
+		if a.min.IsNull() || v.Compare(a.min) < 0 {
+			a.min = v
+		}
+	case AggMax:
+		if a.max.IsNull() || v.Compare(a.max) > 0 {
+			a.max = v
+		}
 	}
 }
 
@@ -213,6 +240,84 @@ func (g *GroupOp) Start(c *Cycle) {
 	g.incActive = false
 	if c.Inc != nil {
 		g.startIncremental(c)
+	}
+	if c.Col != nil {
+		g.startColumnar(c, st)
+	}
+}
+
+// startColumnar runs the aggregation pushdown: the covered queries' bound
+// scan predicates become columnar scan clients and the mirror scan feeds
+// matched rows straight into the cycle's group table — no scan→group stream,
+// no Batch materialization. The scan emits in ascending RowID order (at any
+// worker count) and absorbRow runs serially on this goroutine, so the group
+// table's insertion order — and therefore Finish emission — is byte-identical
+// to the row path's serial rebuild.
+func (g *GroupOp) startColumnar(c *Cycle, st *groupState) {
+	cc := c.Col
+	cfg := g.incStream()
+	clients := g.colClients[:0]
+	for _, p := range cc.Preds {
+		clients = append(clients, storage.ScanClient{ID: p.QID, Pred: p.Pred})
+	}
+	if cap(g.argScratch) < len(g.Aggs) {
+		g.argScratch = make([]types.Value, len(g.Aggs))
+	}
+	args := g.argScratch[:len(g.Aggs)]
+	cc.Table.SharedScanColumnar(c.TS, clients, c.Workers, &g.colBufs, func(_ storage.RowID, row types.Row, qs queryset.Set) {
+		g.absorbRow(st, cfg, row, qs, args)
+	})
+	clear(clients)
+	g.colClients = clients[:0]
+}
+
+// newEntry takes a group entry from the free list (reusing its key and
+// per-query backing arrays) or allocates one.
+func (g *GroupOp) newEntry(h uint64, keyVals []types.Value) *groupEntry {
+	if n := len(g.entryFree); n > 0 {
+		ge := g.entryFree[n-1]
+		g.entryFree[n-1] = nil
+		g.entryFree = g.entryFree[:n-1]
+		ge.hash = h
+		ge.keyVals = append(ge.keyVals[:0], keyVals...)
+		return ge
+	}
+	return &groupEntry{hash: h, keyVals: append([]types.Value(nil), keyVals...)}
+}
+
+// newStates takes a cleared aggregate-state slice (len(g.Aggs)) from the
+// free list or allocates one.
+func (g *GroupOp) newStates() []aggState {
+	if n := len(g.stateFree); n > 0 {
+		s := g.stateFree[n-1]
+		g.stateFree[n-1] = nil
+		g.stateFree = g.stateFree[:n-1]
+		return s
+	}
+	return make([]aggState, len(g.Aggs))
+}
+
+// recycleGroups returns a drained cycle's rebuilt group entries and their
+// aggregate states to the operator free lists, dropping every value
+// reference so recycled rows are not pinned. Maintained (incremental)
+// entries live in g.inc, never in the cycle table, so everything here is
+// safe to reuse.
+func (g *GroupOp) recycleGroups(st *groupState) {
+	for _, ge := range st.groups.entries {
+		if ge.inc != nil {
+			continue
+		}
+		for q, states := range ge.perQuery {
+			if states != nil {
+				clear(states)
+				g.stateFree = append(g.stateFree, states)
+				ge.perQuery[q] = nil
+			}
+		}
+		ge.perQuery = ge.perQuery[:0]
+		clear(ge.keyVals)
+		ge.keyVals = ge.keyVals[:0]
+		g.entryFree = append(g.entryFree, ge)
 	}
 }
 
@@ -459,33 +564,108 @@ func (g *GroupOp) absorb(st *groupState, b *Batch) {
 	}
 	for ti := range b.Tuples {
 		t := &b.Tuples[ti]
-		keyVals, h := extractKeyHash(t.Row, cfg.GroupCols, g.keyScratch)
-		g.keyScratch = keyVals
-		ge := st.groups.lookup(h, keyVals)
-		if ge == nil {
-			ge = &groupEntry{hash: h, keyVals: append([]types.Value(nil), keyVals...)}
-			st.groups.insert(ge)
-		}
-		// evaluate aggregate arguments once per tuple, shared across
-		// subscribed queries
-		for i := range g.Aggs {
-			if i < len(cfg.AggArgs) && cfg.AggArgs[i] != nil {
-				args[i] = cfg.AggArgs[i].Eval(t.Row, nil)
-			} else {
-				args[i] = types.NewInt(1) // COUNT(*) marker
+		g.absorbRow(st, cfg, t.Row, t.QS, args)
+	}
+}
+
+// addStep is one aggregate's precompiled update for one input row: the
+// per-(row, query) inner loop replays it against every subscribed query's
+// state without re-dispatching on NULL-ness, Distinct or value kind. The
+// fast ops perform exactly the updates aggState.add would (same fields,
+// same order), so the result bytes are identical; anything add handles
+// with per-state bookkeeping (DISTINCT sets, MIN/MAX compares) stays on
+// the generic path.
+type addStep struct {
+	op  uint8 // stepSkip..stepGeneric
+	i64 int64
+	f64 float64
+}
+
+const (
+	stepSkip     = iota // NULL argument: aggregates ignore it
+	stepCount           // count++ (COUNT, or SUM/AVG over non-numeric)
+	stepSumInt          // count++, sumI += i64
+	stepSumFloat        // count++, isFloat = true, sumF += f64
+	stepGeneric         // aggState.add (DISTINCT, MIN, MAX)
+)
+
+// compileAddSteps lowers one row's evaluated aggregate arguments into the
+// per-agg update plan shared by every query subscribed to the row.
+func (g *GroupOp) compileAddSteps(args []types.Value) []addStep {
+	steps := g.stepScratch
+	if cap(steps) < len(g.Aggs) {
+		steps = make([]addStep, len(g.Aggs))
+		g.stepScratch = steps
+	}
+	steps = steps[:len(g.Aggs)]
+	for i, def := range g.Aggs {
+		v := args[i]
+		switch {
+		case v.IsNull():
+			steps[i] = addStep{op: stepSkip}
+		case def.Distinct || def.Kind == AggMin || def.Kind == AggMax:
+			steps[i] = addStep{op: stepGeneric}
+		case def.Kind == AggCount:
+			steps[i] = addStep{op: stepCount}
+		default: // AggSum, AggAvg
+			switch v.Kind() {
+			case types.KindFloat:
+				steps[i] = addStep{op: stepSumFloat, f64: v.Float}
+			case types.KindInt, types.KindBool, types.KindTime:
+				steps[i] = addStep{op: stepSumInt, i64: v.Int}
+			default:
+				steps[i] = addStep{op: stepCount} // add only counts non-numeric
 			}
 		}
-		for _, qid := range t.QS.IDs() {
-			for int(qid) >= len(ge.perQuery) {
-				ge.perQuery = append(ge.perQuery, nil)
-			}
-			states := ge.perQuery[qid]
-			if states == nil {
-				states = make([]aggState, len(g.Aggs))
-				ge.perQuery[qid] = states
-			}
-			for i, def := range g.Aggs {
-				states[i].add(args[i], def)
+	}
+	return steps
+}
+
+// absorbRow folds one routed row into the cycle's group table — the shared
+// per-tuple body of the serial batch path and the columnar scan feed. args
+// is caller scratch of len(g.Aggs); qs may be borrowed (it is read, never
+// retained).
+func (g *GroupOp) absorbRow(st *groupState, cfg GroupStream, row types.Row, qs queryset.Set, args []types.Value) {
+	keyVals, h := extractKeyHash(row, cfg.GroupCols, g.keyScratch)
+	g.keyScratch = keyVals
+	ge := st.groups.lookup(h, keyVals)
+	if ge == nil {
+		ge = g.newEntry(h, keyVals)
+		st.groups.insert(ge)
+	}
+	// evaluate aggregate arguments once per tuple, shared across
+	// subscribed queries
+	for i := range g.Aggs {
+		if i < len(cfg.AggArgs) && cfg.AggArgs[i] != nil {
+			args[i] = cfg.AggArgs[i].Eval(row, nil)
+		} else {
+			args[i] = types.NewInt(1) // COUNT(*) marker
+		}
+	}
+	steps := g.compileAddSteps(args)
+	for _, qid := range qs.IDs() {
+		for int(qid) >= len(ge.perQuery) {
+			ge.perQuery = append(ge.perQuery, nil)
+		}
+		states := ge.perQuery[qid]
+		if states == nil {
+			states = g.newStates()
+			ge.perQuery[qid] = states
+		}
+		for i := range steps {
+			a := &states[i]
+			switch steps[i].op {
+			case stepCount:
+				a.count++
+			case stepSumInt:
+				a.count++
+				a.sumI += steps[i].i64
+			case stepSumFloat:
+				a.count++
+				a.isFloat = true
+				a.sumF += steps[i].f64
+			case stepGeneric:
+				a.add(args[i], g.Aggs[i])
 			}
 		}
 	}
@@ -535,7 +715,7 @@ func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
 	chunkBounds := par.Split(len(st.pending), workers)
 	nchunks := len(chunkBounds) - 1
 	buckets := make([][][]entry, nchunks) // [chunk][bucket] → entries
-	par.Do(workers, nchunks, func(ci int) {
+	c.Pool.Do(workers, nchunks, func(ci int) {
 		bucketed := make([][]entry, workers)
 		for _, b := range st.pending[chunkBounds[ci]:chunkBounds[ci+1]] {
 			cfg, ok := g.Streams[b.Stream]
@@ -561,7 +741,7 @@ func (g *GroupOp) aggregateParallel(c *Cycle, st *groupState) {
 		buckets[ci] = bucketed
 	})
 	locals := make([]groupTable, workers)
-	par.Do(workers, workers, func(bi int) {
+	c.Pool.Do(workers, workers, func(bi int) {
 		m := &locals[bi]
 		for ci := 0; ci < nchunks; ci++ {
 			for _, e := range buckets[ci][bi] {
@@ -630,6 +810,7 @@ func (g *GroupOp) Finish(c *Cycle) {
 		g.single[0] = qid
 		c.Emit(g.OutStream, row, queryset.FromSorted(g.single[:1]))
 	}
+	g.recycleGroups(st)
 	st.groups.reset() // drop group state references between cycles
 	c.opState = nil
 	g.incActive = false

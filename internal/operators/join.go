@@ -236,7 +236,7 @@ func (j *HashJoinOp) buildParallel(c *Cycle) {
 	chunkBounds := par.Split(len(j.innerPending), workers)
 	nchunks := len(chunkBounds) - 1
 	routed := make([][][]entry, nchunks) // [chunk][shard] → entries
-	par.Do(workers, nchunks, func(ci int) {
+	c.Pool.Do(workers, nchunks, func(ci int) {
 		shards := make([][]entry, workers)
 		for _, b := range j.innerPending[chunkBounds[ci]:chunkBounds[ci+1]] {
 			for _, t := range b.Tuples {
@@ -257,7 +257,7 @@ func (j *HashJoinOp) buildParallel(c *Cycle) {
 	}
 	j.buildShards = j.buildShards[:workers]
 	shards := j.buildShards
-	par.Do(workers, workers, func(si int) {
+	c.Pool.Do(workers, workers, func(si int) {
 		shards[si].reset(j.InnerKeyCols)
 		for ci := 0; ci < nchunks; ci++ {
 			for _, e := range routed[ci][si] {

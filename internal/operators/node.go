@@ -2,7 +2,9 @@ package operators
 
 import (
 	"sync"
+	"time"
 
+	"shareddb/internal/par"
 	"shareddb/internal/queryset"
 	"shareddb/internal/types"
 )
@@ -128,6 +130,24 @@ type CycleStart struct {
 	// operator primes or reuses persistent NodeState from the table and the
 	// generation's write delta. Nil keeps the classic rebuild cycle.
 	Inc *IncCycle
+
+	// Col, when non-nil, switches a group-by node to the columnar
+	// aggregation pushdown for this cycle: the operator feeds itself from
+	// the table's columnar mirror in Start instead of consuming the scan
+	// stream (silenced by the plan, like Inc). See ColCycle.
+	Col *ColCycle
+
+	// Pool, when non-nil, is the engine-owned worker pool the cycle's
+	// data-parallel phases run on (nil = the package-level default pool).
+	Pool *par.Pool
+
+	// CostObserve, when non-nil, receives the cycle's operator-active
+	// nanoseconds (time inside Start/Consume/EdgeEOS/Finish, excluding inbox
+	// waits) once the cycle drains — the engine's per-statement cost
+	// attribution hook. Called on the node goroutine after Finish but before
+	// the cycle's EOS propagates downstream, so every node's report
+	// happens-before the generation's sink OnDone.
+	CostObserve func(tasks []Task, activeNs int64)
 }
 
 // Task is one active query's registration at a node for one generation.
@@ -155,6 +175,14 @@ type Cycle struct {
 	// Inc is the incremental-state activation for this cycle (nil = classic
 	// rebuild). See IncCycle.
 	Inc *IncCycle
+
+	// Col is the columnar-aggregation activation for this cycle (nil = the
+	// node consumes its producer stream as usual). See ColCycle.
+	Col *ColCycle
+
+	// Pool runs the cycle's data-parallel phases (nil-safe: a nil pool is
+	// the package default). Operators call c.Pool.Do(c.Workers, n, fn).
+	Pool *par.Pool
 
 	// Columnar switches scan sources to the columnar mirror
 	// (storage.SharedScanColumnar) for this cycle. Emission is bit-identical
@@ -307,18 +335,35 @@ func adaptWorkers(budget, prevInput int) int {
 // false when the inbox closed mid-cycle (shutdown).
 func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (future []Message, nextStarts []*CycleStart, ok bool) {
 	workers := cs.Workers
-	if len(n.Producers) > 0 {
+	// A columnar-aggregation cycle builds its own input in Start (like a
+	// source node), so the previous cycle's silenced stream input must not
+	// adaptively serialize it.
+	if len(n.Producers) > 0 && cs.Col == nil {
 		workers = adaptWorkers(workers, n.prevInput)
 	}
 	n.em.reset(n, cs.Gen)
-	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, Inc: cs.Inc, Columnar: cs.Columnar, node: n, em: &n.em}
+	c := &Cycle{Gen: cs.Gen, TS: cs.TS, Tasks: cs.Tasks, Workers: workers, Inc: cs.Inc, Col: cs.Col, Pool: cs.Pool, Columnar: cs.Columnar, node: n, em: &n.em}
 	ids := make([]queryset.QueryID, len(cs.Tasks))
 	for i, t := range cs.Tasks {
 		ids[i] = t.Query
 	}
 	c.all = queryset.Of(ids...)
 
-	n.Op.Start(c)
+	// activeNs accumulates operator-busy time for the engine's per-statement
+	// cost attribution; timing only runs when someone is observing.
+	var activeNs int64
+	timed := cs.CostObserve != nil
+	run := func(f func()) {
+		if !timed {
+			f()
+			return
+		}
+		t0 := time.Now()
+		f()
+		activeNs += time.Since(t0).Nanoseconds()
+	}
+
+	run(func() { n.Op.Start(c) })
 	remaining := cs.ActiveProducers
 	consumed := 0
 
@@ -332,13 +377,13 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 		if msg.EOS {
 			remaining--
 			if ea, aware := n.Op.(EOSAware); aware {
-				ea.EdgeEOS(c, msg.Edge)
+				run(func() { ea.EdgeEOS(c, msg.Edge) })
 			}
 			return
 		}
 		if msg.Batch != nil {
 			consumed += len(msg.Batch.Tuples)
-			n.Op.Consume(c, msg.Batch)
+			run(func() { n.Op.Consume(c, msg.Batch) })
 			// Recycle the batch unless the operator kept references into it
 			// (c.Retain); retained batches are released after Finish.
 			if !msg.Batch.retained {
@@ -363,7 +408,14 @@ func (n *Node) runCycle(cs *CycleStart, stash []Message, starts []*CycleStart) (
 		}
 		handle(msg)
 	}
-	n.Op.Finish(c)
+	run(func() { n.Op.Finish(c) })
+	// Report cost BEFORE propagating EOS: downstream cycles (ultimately the
+	// sink's OnDone) only complete after every producer's EOS, so observing
+	// first guarantees all attribution lands before the generation's
+	// completion callback reads it.
+	if timed {
+		cs.CostObserve(cs.Tasks, activeNs)
+	}
 	c.em.flushEOS()
 	// The generation has drained through this node: every batch the
 	// operator buffered is now dead (emission copied the surviving query

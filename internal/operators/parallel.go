@@ -26,10 +26,10 @@ var minParallelAggLen = 1024
 
 // stableSortTuples sorts tuples by less with the exact semantics of
 // sort.SliceStable. With workers > 1 and enough input it runs a partitioned
-// sort: contiguous chunks are stable-sorted in parallel and then k-way
-// merged, breaking ties toward the lower chunk index — which reproduces the
-// serial stable order bit-for-bit.
-func stableSortTuples(tuples []sortedTuple, less func(a, b *sortedTuple) bool, workers int) []sortedTuple {
+// sort: contiguous chunks are stable-sorted in parallel (on pool; nil = the
+// package default) and then k-way merged, breaking ties toward the lower
+// chunk index — which reproduces the serial stable order bit-for-bit.
+func stableSortTuples(tuples []sortedTuple, less func(a, b *sortedTuple) bool, workers int, pool *par.Pool) []sortedTuple {
 	n := len(tuples)
 	if workers <= 1 || n < minParallelSortLen {
 		sort.SliceStable(tuples, func(i, j int) bool { return less(&tuples[i], &tuples[j]) })
@@ -37,7 +37,7 @@ func stableSortTuples(tuples []sortedTuple, less func(a, b *sortedTuple) bool, w
 	}
 	bounds := par.Split(n, workers)
 	chunks := make([][]sortedTuple, len(bounds)-1)
-	par.Do(workers, len(chunks), func(i int) {
+	pool.Do(workers, len(chunks), func(i int) {
 		c := tuples[bounds[i]:bounds[i+1]]
 		sort.SliceStable(c, func(a, b int) bool { return less(&c[a], &c[b]) })
 		chunks[i] = c

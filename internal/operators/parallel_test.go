@@ -120,7 +120,7 @@ func TestStableSortTuplesMatchesSliceStable(t *testing.T) {
 	sort.SliceStable(want, func(i, j int) bool { return less(&want[i], &want[j]) })
 
 	for _, workers := range []int{2, 3, 4, 7} {
-		got := stableSortTuples(append([]sortedTuple(nil), base...), less, workers)
+		got := stableSortTuples(append([]sortedTuple(nil), base...), less, workers, nil)
 		for i := range want {
 			if want[i].t.Row[1].AsInt() != got[i].t.Row[1].AsInt() {
 				t.Fatalf("workers=%d: position %d holds tuple %d, want %d (stability broken)",

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"shareddb/internal/expr"
-	"shareddb/internal/par"
 	"shareddb/internal/queryset"
 	"shareddb/internal/types"
 )
@@ -35,6 +34,12 @@ type SortOp struct {
 type SortStream struct {
 	Keys      []SortKey
 	OutStream int // usually the input stream id (schema unchanged)
+
+	// Singleton marks streams whose every tuple carries exactly one query
+	// id — group-by output, which is per-(group, query) by construction.
+	// When every stream is singleton and every active query has a LIMIT,
+	// the sort runs in bounded Top-N heap mode (see Consume).
+	Singleton bool
 }
 
 // SortKey is one sort key over a stream's schema.
@@ -59,7 +64,37 @@ type sortedTuple struct {
 // node).
 type sortState struct {
 	tuples []sortedTuple
-	limits []int // dense by generation-scoped query id; <= 0 = unlimited
+	limits []int  // dense by generation-scoped query id; <= 0 = unlimited
+	desc   []bool // the shared key direction flags, hoisted at Start
+
+	// Bounded Top-N heap mode (the grouped Top-N pushdown): active when
+	// every input stream is Singleton and every active query carries a
+	// LIMIT. Instead of buffering the whole input for one big Finish sort,
+	// Consume maintains a bounded max-heap of at most LIMIT entries per
+	// query, ordered by (sort keys, arrival sequence) — a strict total
+	// order, so the heap retains exactly the k minima that a stable
+	// sort-then-cut would, and the sort never sees more than k rows per
+	// query partition.
+	heapOn bool
+	heaps  []topnHeap // dense by generation-scoped query id
+	seq    int64      // arrival counter: the stability tiebreak
+}
+
+// heapTuple is one bounded-heap entry; keys is entry-owned (reused when the
+// entry is evicted and replaced).
+type heapTuple struct {
+	stream int
+	t      Tuple
+	keys   []types.Value
+	seq    int64
+}
+
+// topnHeap is one query's bounded max-heap: ents[0] is the worst retained
+// tuple in (keys, seq) order; a candidate is admitted iff the heap is not
+// full or the candidate beats the root.
+type topnHeap struct {
+	lim  int
+	ents []heapTuple
 }
 
 // cycle state
@@ -82,9 +117,44 @@ func (s *SortOp) Start(c *Cycle) {
 	}
 	st.limits = st.limits[:int(maxID)+1]
 	clear(st.limits)
+	allLimited := len(c.Tasks) > 0
 	for _, t := range c.Tasks {
 		spec, _ := t.Spec.(SortSpec)
 		st.limits[t.Query] = spec.Limit
+		if spec.Limit <= 0 {
+			allLimited = false
+		}
+	}
+	// Desc flags are part of the operator's sharing signature, so every
+	// stream has identical flags; hoist the first stream's.
+	st.desc = st.desc[:0]
+	allSingleton := len(s.Streams) > 0
+	for _, cfg := range s.Streams {
+		if len(st.desc) == 0 {
+			for _, k := range cfg.Keys {
+				st.desc = append(st.desc, k.Desc)
+			}
+		}
+		if !cfg.Singleton {
+			allSingleton = false
+		}
+	}
+	st.heapOn = allSingleton && allLimited
+	if st.heapOn {
+		if cap(st.heaps) < int(maxID)+1 {
+			heaps := make([]topnHeap, int(maxID)+1)
+			copy(heaps, st.heaps)
+			st.heaps = heaps
+		}
+		st.heaps = st.heaps[:int(maxID)+1]
+		for i := range st.heaps {
+			st.heaps[i].lim = 0
+		}
+		for _, t := range c.Tasks {
+			spec, _ := t.Spec.(SortSpec)
+			st.heaps[t.Query].lim = spec.Limit
+		}
+		st.seq = 0
 	}
 	c.opState = st
 }
@@ -109,6 +179,10 @@ func (s *SortOp) Consume(c *Cycle, b *Batch) {
 	}
 	c.Retain(b)
 	st := s.state(c)
+	if st.heapOn {
+		s.consumeHeap(st, cfg, b)
+		return
+	}
 	for ti := range b.Tuples {
 		t := &b.Tuples[ti]
 		start := len(s.keyBuf)
@@ -118,6 +192,91 @@ func (s *SortOp) Consume(c *Cycle, b *Batch) {
 		keys := s.keyBuf[start:len(s.keyBuf):len(s.keyBuf)]
 		st.tuples = append(st.tuples, sortedTuple{stream: b.Stream, t: *t, keys: keys})
 	}
+}
+
+// consumeHeap is the bounded Top-N path of Consume: each singleton tuple is
+// offered to its query's max-heap and admitted only while it beats the k-th
+// best seen so far. Equivalence to the buffering path: a stable ascending
+// sort followed by a cut at k emits the k minima of the strict total order
+// (keys, arrival seq) — stability IS the seq tiebreak — and a bounded
+// max-heap over the same order retains exactly those k minima.
+func (s *SortOp) consumeHeap(st *sortState, cfg SortStream, b *Batch) {
+	for ti := range b.Tuples {
+		t := &b.Tuples[ti]
+		seq := st.seq
+		st.seq++
+		q := t.QS.IDs()[0]
+		if int(q) >= len(st.heaps) {
+			continue // not registered this cycle
+		}
+		h := &st.heaps[q]
+		if h.lim <= 0 {
+			continue
+		}
+		start := len(s.keyBuf)
+		for _, k := range cfg.Keys {
+			s.keyBuf = append(s.keyBuf, k.E.Eval(t.Row, nil))
+		}
+		keys := s.keyBuf[start:len(s.keyBuf):len(s.keyBuf)]
+		s.keyBuf = s.keyBuf[:start] // scratch only: the entry owns a copy
+		if len(h.ents) < h.lim {
+			i := len(h.ents)
+			h.ents = append(h.ents, heapTuple{})
+			e := &h.ents[i]
+			e.stream, e.t, e.seq = b.Stream, *t, seq
+			e.keys = append(e.keys[:0], keys...)
+			// sift up
+			for i > 0 {
+				p := (i - 1) / 2
+				if !st.heapAfter(&h.ents[i], &h.ents[p]) {
+					break
+				}
+				h.ents[i], h.ents[p] = h.ents[p], h.ents[i]
+				i = p
+			}
+			continue
+		}
+		root := &h.ents[0]
+		cand := heapTuple{keys: keys, seq: seq}
+		if !st.heapAfter(root, &cand) {
+			continue // candidate sorts at-or-after the worst retained: reject
+		}
+		// replace the root, reusing its key backing, and sift down
+		root.stream, root.t, root.seq = b.Stream, *t, seq
+		root.keys = append(root.keys[:0], keys...)
+		i, n := 0, len(h.ents)
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < n && st.heapAfter(&h.ents[l], &h.ents[m]) {
+				m = l
+			}
+			if r < n && st.heapAfter(&h.ents[r], &h.ents[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h.ents[i], h.ents[m] = h.ents[m], h.ents[i]
+			i = m
+		}
+	}
+}
+
+// heapAfter reports whether a sorts strictly after b in the cycle's
+// (keys, seq) total order — "is worse than", the max-heap's priority.
+func (st *sortState) heapAfter(a, b *heapTuple) bool {
+	for i := range a.keys {
+		d := a.keys[i].Compare(b.keys[i])
+		if d == 0 {
+			continue
+		}
+		if i < len(st.desc) && st.desc[i] {
+			return d < 0
+		}
+		return d > 0
+	}
+	return a.seq > b.seq
 }
 
 // Finish sorts for all queries and emits in order with per-query Top-N
@@ -133,16 +292,11 @@ func (s *SortOp) Consume(c *Cycle, b *Batch) {
 // query, so partition-by-partition emission is equivalent.
 func (s *SortOp) Finish(c *Cycle) {
 	st := s.state(c)
-	// Desc flags are part of the operator's sharing signature, so every
-	// stream has identical flags; use the first stream's.
-	var desc []bool
-	for _, cfg := range s.Streams {
-		desc = make([]bool, len(cfg.Keys))
-		for i, k := range cfg.Keys {
-			desc[i] = k.Desc
-		}
-		break
+	if st.heapOn {
+		s.finishHeap(c, st)
+		return
 	}
+	desc := st.desc
 	less := func(a, b *sortedTuple) bool {
 		for i := range a.keys {
 			d := a.keys[i].Compare(b.keys[i])
@@ -181,7 +335,7 @@ func (s *SortOp) Finish(c *Cycle) {
 			}
 			sort.Slice(qids, func(a, b int) bool { return qids[a] < qids[b] })
 			parts := make([][]sortedTuple, len(qids))
-			par.Do(c.Workers, len(qids), func(i int) {
+			c.Pool.Do(c.Workers, len(qids), func(i int) {
 				part := partitions[qids[i]]
 				sort.SliceStable(part, func(a, b int) bool { return less(&part[a], &part[b]) })
 				if lim := st.limit(qids[i]); lim > 0 && len(part) > lim {
@@ -213,7 +367,7 @@ func (s *SortOp) Finish(c *Cycle) {
 		return
 	}
 
-	st.tuples = stableSortTuples(st.tuples, less, c.Workers)
+	st.tuples = stableSortTuples(st.tuples, less, c.Workers, c.Pool)
 	counts := make([]int, len(st.limits))
 	remaining := 0
 	unlimited := false
@@ -259,6 +413,28 @@ func (s *SortOp) Finish(c *Cycle) {
 	c.opState = nil
 }
 
+// finishHeap emits the bounded Top-N heaps, queries ascending, each heap
+// sorted ascending by (keys, seq) — exactly the per-query stable-sort-and-
+// cut sequence of the buffering path. Heaps hold at most LIMIT entries, so
+// the final sorts are O(k log k) regardless of input size.
+func (s *SortOp) finishHeap(c *Cycle, st *sortState) {
+	for q := range st.heaps {
+		h := &st.heaps[q]
+		if h.lim <= 0 || len(h.ents) == 0 {
+			continue
+		}
+		// (keys, seq) is a strict total order, so an unstable sort is
+		// deterministic here.
+		sort.Slice(h.ents, func(a, b int) bool { return st.heapAfter(&h.ents[b], &h.ents[a]) })
+		for i := range h.ents {
+			e := &h.ents[i]
+			c.Emit(s.Streams[e.stream].OutStream, e.t.Row, e.t.QS)
+		}
+	}
+	s.release(st)
+	c.opState = nil
+}
+
 // release drops the cycle's buffered tuple references so retained input
 // batches recycle without pinned rows, keeping buffer capacity for the next
 // cycle.
@@ -267,4 +443,14 @@ func (s *SortOp) release(st *sortState) {
 	st.tuples = st.tuples[:0]
 	clear(s.keyBuf)
 	s.keyBuf = s.keyBuf[:0]
+	for q := range st.heaps {
+		h := &st.heaps[q]
+		for i := range h.ents {
+			e := &h.ents[i]
+			e.t = Tuple{}
+			clear(e.keys)
+			e.keys = e.keys[:0]
+		}
+		h.ents = h.ents[:0]
+	}
 }

@@ -59,6 +59,20 @@ type IncCycle struct {
 	Delta *storage.TableDelta
 }
 
+// ColCycle is the columnar-aggregation activation attached to a CycleStart
+// (the aggregation pushdown of the columnar data path): the group-by node
+// feeds itself from the table's columnar mirror (storage.SharedScanColumnar)
+// instead of consuming the scan→group stream, which the plan silences for
+// the covered queries. Preds are sorted by QID ascending, one bound scan
+// predicate per covered query — exactly the clients the shared scan node
+// would have served. The scan emits in RowID order and the operator absorbs
+// serially in that order, so the resulting aggregate state (and Finish
+// emission) is byte-identical to the row path.
+type ColCycle struct {
+	Table *storage.Table
+	Preds []IncPred
+}
+
 // evalIncPreds routes one table row to the covered queries whose predicate
 // it satisfies. Preds are QID-sorted, so the result assembles pre-sorted
 // (queryset.Of's copy-only fast path). Returns the set and the reusable

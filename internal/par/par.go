@@ -3,14 +3,19 @@
 // partitioned ClockScan of Crescando, paper §4.4) and the blocking shared
 // operators (the data-parallel Finish phases of §4.2). The paper pins worker
 // threads to cores; here the degree of parallelism is a per-cycle worker
-// count resolved from Config.Workers, and goroutines stand in for pinned
-// threads.
+// count resolved from Config.Workers, and pooled goroutines stand in for
+// pinned threads.
 //
 // The contract every caller relies on: Do(workers, n, fn) runs fn(0..n-1) to
 // completion before returning, fn invocations may run concurrently on up to
 // `workers` goroutines, and with workers <= 1 everything runs sequentially
 // on the calling goroutine in index order — which is how Workers=1 keeps the
 // engine byte-identical to serial execution.
+//
+// Helpers are persistent: instead of spawning workers-1 goroutines per Do
+// call, work is dispatched as tickets to a Pool of long-lived worker
+// goroutines (a process-wide default pool, or a caller-owned Pool with a
+// per-worker affinity hook — the seed for NUMA pinning of shard engines).
 package par
 
 import (
@@ -31,54 +36,158 @@ func Resolve(workers int) int {
 	return workers
 }
 
+// job is one Do invocation's shared work description. Workers that receive a
+// ticket claim indices from next until it passes n; items completes once per
+// finished fn call, so the issuing goroutine never waits on ticket delivery —
+// only on its n items. A ticket delivered after the job drained is a cheap
+// no-op, which is what lets ticket publication be fire-and-forget.
+type job struct {
+	next  atomic.Int64
+	n     int
+	fn    func(i int)
+	items sync.WaitGroup
+}
+
+func (j *job) run() {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(i)
+		j.items.Done()
+	}
+}
+
+// Pool is a fixed set of persistent worker goroutines that execute Do
+// tickets. The zero Pool is not usable; a nil *Pool is — its Do falls back
+// to the package-level default pool, so plumbing an optional pool through
+// call sites needs no nil checks.
+type Pool struct {
+	tickets chan *job
+	size    int
+	closed  atomic.Bool
+	workers sync.WaitGroup
+}
+
+// NewPool starts size persistent worker goroutines. If affinity is non-nil
+// it is called once on each worker goroutine before it starts accepting
+// tickets, with the worker's index in [0, size) — the hook point for CPU /
+// NUMA pinning of a shard engine's workers (e.g. locking the OS thread and
+// setting a scheduler affinity mask). size is clamped to at least 1.
+func NewPool(size int, affinity func(worker int)) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{tickets: make(chan *job, size), size: size}
+	p.workers.Add(size)
+	for w := 0; w < size; w++ {
+		go func(w int) {
+			defer p.workers.Done()
+			if affinity != nil {
+				affinity(w)
+			}
+			for j := range p.tickets {
+				j.run()
+			}
+		}(w)
+	}
+	return p
+}
+
+// Size reports the number of persistent workers in the pool.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return p.size
+}
+
+// Close shuts the pool's workers down and waits for them to exit. Close must
+// not be called concurrently with Do on the same pool; after Close, Do runs
+// serially on the caller. Closing a nil pool is a no-op (the default pool is
+// process-lived).
+func (p *Pool) Close() {
+	if p == nil || !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.tickets)
+	p.workers.Wait()
+}
+
 // Do runs fn(i) for every i in [0, n), using up to `workers` goroutines
-// (including the calling goroutine), and returns once all invocations have
-// completed. Tasks are claimed from a shared atomic counter, so callers that
-// want deterministic work assignment should make fn(i) own partition i
-// outright and write only to i-indexed state. With workers <= 1 (or n <= 1)
-// the calls happen sequentially in index order on the caller's goroutine.
-func Do(workers, n int, fn func(i int)) {
+// (the calling goroutine plus at most workers-1 pool workers), and returns
+// once all invocations have completed. Tasks are claimed from a shared
+// atomic counter, so callers that want deterministic work assignment should
+// make fn(i) own partition i outright and write only to i-indexed state.
+// With workers <= 1 (or n <= 1) the calls happen sequentially in index order
+// on the caller's goroutine. On a nil pool, Do delegates to the package
+// default pool.
+func (p *Pool) Do(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers <= 1 || (p != nil && p.closed.Load()) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	forkCount.Add(int64(workers - 1))
-	var next atomic.Int64
-	work := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			fn(i)
+	if p == nil {
+		p = defaultPool()
+	}
+	j := &job{n: n, fn: fn}
+	j.items.Add(n)
+	need := workers - 1
+	if need > p.size {
+		need = p.size
+	}
+	// Fire-and-forget ticket publication: a full channel means every pool
+	// worker is already busy, in which case the caller absorbs the work
+	// instead of queueing more tickets than could ever help.
+	for t := 0; t < need; t++ {
+		select {
+		case p.tickets <- j:
+			forkCount.Add(1)
+		default:
+			t = need
 		}
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for w := 1; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			work()
-		}()
-	}
-	work()
-	wg.Wait()
+	j.run()
+	j.items.Wait()
 }
 
-// forkCount counts worker goroutines spawned by Do since process start.
-// The adaptive worker budget's tests use it to pin that tiny cycles never
-// fork.
+// Do runs fn over [0, n) on the process-wide default pool; see (*Pool).Do
+// for the contract. The default pool is sized to the machine's CPU count and
+// created lazily on first parallel use.
+func Do(workers, n int, fn func(i int)) {
+	var p *Pool
+	p.Do(workers, n, fn)
+}
+
+var (
+	defaultOnce sync.Once
+	defPool     *Pool
+)
+
+// defaultPool lazily creates the shared process-wide pool. It is sized to
+// runtime.NumCPU rather than GOMAXPROCS so that later GOMAXPROCS changes
+// (e.g. go test -cpu 1,4 re-running in one process) still find enough
+// helpers; idle workers cost only a blocked channel receive.
+func defaultPool() *Pool {
+	defaultOnce.Do(func() { defPool = NewPool(runtime.NumCPU(), nil) })
+	return defPool
+}
+
+// forkCount counts work tickets dispatched to pool workers since process
+// start — the pooled analogue of "worker goroutines spawned". The adaptive
+// worker budget's tests use it to pin that tiny cycles never fork.
 var forkCount atomic.Int64
 
-// Forks reports the total worker goroutines spawned by Do so far.
+// Forks reports the total work tickets dispatched to pool workers so far.
 func Forks() int64 { return forkCount.Load() }
 
 // Split partitions [0, n) into at most `parts` contiguous ranges of

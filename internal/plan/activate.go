@@ -73,6 +73,7 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *sto
 	}
 
 	incCycles, skipTask, skipEdge := p.decideIncremental(ts, acts, delta)
+	colCycles, skipTask, skipEdge := p.decideColumnarAgg(acts, incCycles, skipTask, skipEdge)
 
 	tasks := map[*operators.Node][]operators.Task{}
 	edgeQ := map[*operators.Edge][]queryset.QueryID{}
@@ -110,6 +111,14 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *sto
 	if workers < 1 {
 		workers = 1
 	}
+	// Per-generation cost attribution closure: node cycles report their
+	// operator-active time tagged with this generation (pipelined
+	// generations attribute independently). Every node drains a generation
+	// before the sink does, so by sink-OnDone the attribution is complete.
+	var costObserve func(tasks []operators.Task, activeNs int64)
+	if ob := p.costObserver; ob != nil {
+		costObserve = func(tasks []operators.Task, activeNs int64) { ob(gen, tasks, activeNs) }
+	}
 	p.SinkOp.SetHandler(gen, onTuple)
 	// The sink is the last node to finish a generation (every active node's
 	// EOS must reach it), so by the time its cycle completes every emitter
@@ -125,6 +134,8 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *sto
 		ActiveProducers: activeProducers(p.sink),
 		Workers:         workers,
 		Columnar:        p.columnar,
+		Pool:            p.workerPool,
+		CostObserve:     costObserve,
 		OnDone:          done,
 	}})
 	for n, nt := range tasks {
@@ -133,7 +144,10 @@ func (p *GlobalPlan) RunGeneration(gen, ts uint64, acts []Activation, delta *sto
 			ActiveProducers: activeProducers(n),
 			Workers:         workers,
 			Columnar:        p.columnar,
+			Pool:            p.workerPool,
+			CostObserve:     costObserve,
 			Inc:             incCycles[n],
+			Col:             colCycles[n],
 		}})
 	}
 	p.mu.Unlock()
@@ -246,4 +260,95 @@ func (p *GlobalPlan) decideIncremental(ts uint64, acts []Activation, delta *stor
 		}
 	}
 	return incCycles, skipTask, skipEdge
+}
+
+// decideColumnarAgg picks, per eligible group-by node, whether this
+// generation's aggregation runs as a columnar pushdown: the node feeds
+// itself from the table's columnar mirror (operators.ColCycle) and the
+// scan→group stream is silenced for the covered queries — the aggregation
+// consumes typed vectors via the stride-kernel scan instead of materialized
+// row batches. Eligibility mirrors decideIncremental: every activation at
+// the node must arrive through its incremental binding (a direct base-table
+// ClockScan into a single-stream GroupOp), and nodes already claimed by
+// incremental state keep it (maintained state supersedes a re-scan). Only
+// active when the plan is in columnar mode. Caller holds p.mu.
+func (p *GlobalPlan) decideColumnarAgg(acts []Activation, incCycles map[*operators.Node]*operators.IncCycle,
+	skipTask map[*operators.Node]map[queryset.QueryID]bool,
+	skipEdge map[*operators.Edge]map[queryset.QueryID]bool,
+) (map[*operators.Node]*operators.ColCycle,
+	map[*operators.Node]map[queryset.QueryID]bool,
+	map[*operators.Edge]map[queryset.QueryID]bool,
+) {
+	if !p.columnar {
+		return nil, skipTask, skipEdge
+	}
+	counts := map[*operators.Node]int{}
+	cands := map[*operators.Node]*incCand{}
+	for _, a := range acts {
+		for _, st := range a.Stmt.steps {
+			counts[st.node]++
+		}
+		for _, b := range a.Stmt.incs {
+			if _, isGroup := b.op.(*operators.GroupOp); !isGroup {
+				continue
+			}
+			c := cands[b.node]
+			if c == nil {
+				c = &incCand{b: b, ok: true}
+				cands[b.node] = c
+			}
+			if c.b.scanEdge != b.scanEdge || c.b.table != b.table {
+				c.ok = false
+			}
+			c.acts = append(c.acts, incAct{qid: a.QID, stmt: a.Stmt.ID, params: a.Params, pred: b.pred})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, skipTask, skipEdge
+	}
+
+	var colCycles map[*operators.Node]*operators.ColCycle
+	for n, c := range cands {
+		if incCycles[n] != nil {
+			continue
+		}
+		if !c.ok || len(c.acts) != counts[n] {
+			continue
+		}
+		if op := c.b.op.(*operators.GroupOp); len(op.Streams) != 1 {
+			continue
+		}
+		sort.Slice(c.acts, func(i, j int) bool { return c.acts[i].qid < c.acts[j].qid })
+		preds := make([]operators.IncPred, len(c.acts))
+		for i, a := range c.acts {
+			preds[i] = operators.IncPred{QID: a.qid, Pred: expr.Bind(a.pred, a.params)}
+		}
+		if colCycles == nil {
+			colCycles = map[*operators.Node]*operators.ColCycle{}
+		}
+		colCycles[n] = &operators.ColCycle{Table: c.b.table, Preds: preds}
+		p.colAggCycles++
+
+		if skipTask == nil {
+			skipTask = map[*operators.Node]map[queryset.QueryID]bool{}
+		}
+		if skipEdge == nil {
+			skipEdge = map[*operators.Edge]map[queryset.QueryID]bool{}
+		}
+		st := skipTask[c.b.scanNode]
+		if st == nil {
+			st = map[queryset.QueryID]bool{}
+			skipTask[c.b.scanNode] = st
+		}
+		se := skipEdge[c.b.scanEdge]
+		if se == nil {
+			se = map[queryset.QueryID]bool{}
+			skipEdge[c.b.scanEdge] = se
+		}
+		for _, a := range c.acts {
+			st[a.qid] = true
+			se[a.qid] = true
+		}
+	}
+	return colCycles, skipTask, skipEdge
 }

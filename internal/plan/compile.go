@@ -611,7 +611,11 @@ func (p *GlobalPlan) compileSort(s *Statement, c compiled, srt *sql.Sort, limit 
 		p.sortNodes[sig] = ref
 	}
 	if _, exists := ref.op.Streams[c.stream.id]; !exists {
-		ref.op.Streams[c.stream.id] = operators.SortStream{Keys: keys, OutStream: c.stream.id}
+		// Group-by output is per-(group, query) — every tuple carries exactly
+		// one query id — which is the precondition for the sort's bounded
+		// Top-N heap mode (grouped Top-N pushdown).
+		_, fromGroup := c.node.Op.(*operators.GroupOp)
+		ref.op.Streams[c.stream.id] = operators.SortStream{Keys: keys, OutStream: c.stream.id, Singleton: fromGroup}
 	}
 	e := p.edge(c.node, ref.node)
 	lim := limit

@@ -15,6 +15,7 @@ import (
 
 	"shareddb/internal/expr"
 	"shareddb/internal/operators"
+	"shareddb/internal/par"
 	"shareddb/internal/sql"
 	"shareddb/internal/storage"
 	"shareddb/internal/types"
@@ -62,6 +63,20 @@ type GlobalPlan struct {
 	// steady-state generation cycle reuses the same buffers (README
 	// "Memory discipline").
 	pool *operators.BatchPool
+
+	// workerPool, when set, is the engine-owned persistent worker pool every
+	// cycle's data-parallel phases run on (nil = the par package's default
+	// pool). Owned by the engine: the plan never closes it.
+	workerPool *par.Pool
+
+	// costObserver, when set, receives every node cycle's operator-active
+	// time with the generation and the cycle's tasks — the engine's
+	// per-statement cost attribution feed (admission control).
+	costObserver func(gen uint64, tasks []operators.Task, activeNs int64)
+
+	// colAggCycles counts group-by node cycles dispatched as columnar
+	// aggregation pushdowns (tests assert the pushdown actually engaged).
+	colAggCycles uint64
 
 	streams map[int]*streamInfo
 
@@ -197,6 +212,26 @@ func (p *GlobalPlan) SetWorkers(n int) {
 	p.workers = n
 }
 
+// SetWorkerPool attaches an engine-owned persistent worker pool; cycles run
+// their data-parallel phases on it instead of the package default. The pool
+// stays owned (and eventually closed) by the caller.
+func (p *GlobalPlan) SetWorkerPool(wp *par.Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.workerPool = wp
+}
+
+// SetCostObserver installs the engine's per-cycle cost attribution hook:
+// ob(gen, tasks, activeNs) is called from each node's goroutine when it
+// drains a generation, with the time spent inside the operator (excluding
+// inbox waits). Every node reports a generation before the sink's OnDone
+// for that generation fires. Nil disables timing entirely.
+func (p *GlobalPlan) SetCostObserver(ob func(gen uint64, tasks []operators.Task, activeNs int64)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.costObserver = ob
+}
+
 // Workers returns the configured per-cycle parallelism budget.
 func (p *GlobalPlan) Workers() int {
 	p.mu.Lock()
@@ -214,6 +249,15 @@ func (p *GlobalPlan) SetColumnar(on bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.columnar = on
+}
+
+// ColAggCycles reports how many group-by node cycles ran as columnar
+// aggregation pushdowns (fed straight from the columnar mirror instead of
+// the scan stream) since the plan was created.
+func (p *GlobalPlan) ColAggCycles() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.colAggCycles
 }
 
 // Columnar reports whether scan cycles read the columnar mirror.

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"math/bits"
+	"strings"
+
+	"shareddb/internal/expr"
+	"shareddb/internal/types"
+)
+
+// Stride kernels: the 64-row word-at-a-time inner loops of the columnar
+// scan. Each kernel evaluates one compiled predicate over the (up to) 64
+// lanes backing one selection-bitmap word and returns the lane mask — no
+// per-row mode switches, no bit-extraction in the hot loop, just typed
+// compares the compiler turns into flag materialization (SETcc/CSEL). The
+// caller masks the result with the live∧valid word, so kernels are free to
+// evaluate dead lanes.
+//
+// Bound semantics are pinned to Value.Compare via cmpF64: NaN compares
+// "equal" to every number (neither < nor >), so the float kernels derive
+// the lane bit as gt | (incl &^ (lt|gt)) instead of using ==, and bound
+// normalization (colRangeProbe.normalize) has already folded NaN bounds and
+// unbounded sides into closed sentinel forms.
+
+// b2u materializes a comparison as a 0/1 lane bit.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rangeWordI64 evaluates a closed int interval [lo, hi] over the lanes.
+func rangeWordI64(lanes []int64, lo, hi int64) uint64 {
+	var m uint64
+	for k, x := range lanes {
+		m |= b2u(x >= lo && x <= hi) << uint(k)
+	}
+	return m
+}
+
+// rangeWordI64Lo / rangeWordI64Hi are the one-sided int kernels (the other
+// side normalized to an int extreme, which passes every lane).
+func rangeWordI64Lo(lanes []int64, lo int64) uint64 {
+	var m uint64
+	for k, x := range lanes {
+		m |= b2u(x >= lo) << uint(k)
+	}
+	return m
+}
+
+func rangeWordI64Hi(lanes []int64, hi int64) uint64 {
+	var m uint64
+	for k, x := range lanes {
+		m |= b2u(x <= hi) << uint(k)
+	}
+	return m
+}
+
+// rangeLaneF64 is one float lane under cmpF64 semantics: d>0 passes a lower
+// bound, d<0 an upper bound, d==0 (which includes NaN on either side)
+// passes iff the bound is inclusive.
+func rangeLaneF64(x, lo, hi float64, loIncl, hiIncl uint64) uint64 {
+	ltLo, gtLo := b2u(x < lo), b2u(x > lo)
+	ok := gtLo | (loIncl &^ (ltLo | gtLo))
+	ltHi, gtHi := b2u(x < hi), b2u(x > hi)
+	return ok & (ltHi | (hiIncl &^ (ltHi | gtHi)))
+}
+
+// rangeWordF64 evaluates float bounds over the lanes, NaN-exact.
+func rangeWordF64(lanes []float64, lo, hi float64, loIncl, hiIncl uint64) uint64 {
+	var m uint64
+	for k, x := range lanes {
+		m |= rangeLaneF64(x, lo, hi, loIncl, hiIncl) << uint(k)
+	}
+	return m
+}
+
+// rangeWordF64Lo / rangeWordF64Hi are the one-sided float kernels, still
+// NaN-exact (a NaN lane is "equal" to the bound and passes iff inclusive).
+func rangeWordF64Lo(lanes []float64, lo float64, loIncl uint64) uint64 {
+	var m uint64
+	for k, x := range lanes {
+		lt, gt := b2u(x < lo), b2u(x > lo)
+		m |= (gt | (loIncl &^ (lt | gt))) << uint(k)
+	}
+	return m
+}
+
+func rangeWordF64Hi(lanes []float64, hi float64, hiIncl uint64) uint64 {
+	var m uint64
+	for k, x := range lanes {
+		lt, gt := b2u(x < hi), b2u(x > hi)
+		m |= (lt | (hiIncl &^ (lt | gt))) << uint(k)
+	}
+	return m
+}
+
+// rangeWordI64Mixed handles an int column with at least one float bound:
+// the float side compares float64(x) (Value.Compare's coercion), the int
+// side is already closed by normalization. The per-bound branches are
+// loop-invariant and predicted.
+func rangeWordI64Mixed(lanes []int64, lo, hi colBound) uint64 {
+	loIsF, hiIsF := lo.mode == cbF64, hi.mode == cbF64
+	loIncl, hiIncl := b2u(lo.incl), b2u(hi.incl)
+	var m uint64
+	for k, x := range lanes {
+		var ok uint64
+		if loIsF {
+			xf := float64(x)
+			lt, gt := b2u(xf < lo.f), b2u(xf > lo.f)
+			ok = gt | (loIncl &^ (lt | gt))
+		} else {
+			ok = b2u(x >= lo.i)
+		}
+		if hiIsF {
+			xf := float64(x)
+			lt, gt := b2u(xf < hi.f), b2u(xf > hi.f)
+			ok &= lt | (hiIncl &^ (lt | gt))
+		} else {
+			ok &= b2u(x <= hi.i)
+		}
+		m |= ok << uint(k)
+	}
+	return m
+}
+
+// likeWord evaluates one plain-LIKE shape over the lanes with the shape
+// switch hoisted out of the row loop. Negation is the caller's ^m & bw.
+func likeWord(lanes []string, shape expr.LikeShape, needle string) uint64 {
+	var m uint64
+	switch shape {
+	case expr.LikeExact:
+		for k, s := range lanes {
+			m |= b2u(s == needle) << uint(k)
+		}
+	case expr.LikePrefix:
+		for k, s := range lanes {
+			m |= b2u(strings.HasPrefix(s, needle)) << uint(k)
+		}
+	case expr.LikeSuffix:
+		for k, s := range lanes {
+			m |= b2u(strings.HasSuffix(s, needle)) << uint(k)
+		}
+	case expr.LikeContains:
+		for k, s := range lanes {
+			m |= b2u(strings.Contains(s, needle)) << uint(k)
+		}
+	default:
+		for k, s := range lanes {
+			m |= b2u(expr.MatchLike(needle, s)) << uint(k)
+		}
+	}
+	return m
+}
+
+// residualWord re-checks the surviving lanes of mask against a residual
+// expression, clearing lanes it rejects. wordBase is the chunk-global row
+// position of lane 0.
+func residualWord(mask uint64, res expr.Expr, rows []types.Row, wordBase int) uint64 {
+	for t := mask; t != 0; {
+		tz := bits.TrailingZeros64(t)
+		t &= t - 1
+		if !expr.TruthyEval(res, rows[wordBase+tz], nil) {
+			mask &^= 1 << uint(tz)
+		}
+	}
+	return mask
+}

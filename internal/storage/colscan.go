@@ -133,12 +133,71 @@ type colEqCol struct {
 }
 
 // colRangeProbe is one range-indexed client with its compiled bounds.
+// normalize folds the bounds into the closed sentinel forms the stride
+// kernels consume; fail marks a probe no row can satisfy.
 type colRangeProbe struct {
 	col      int
 	rng      expr.Range
 	residual expr.Expr
 	ci       int32
 	lo, hi   colBound
+	fail     bool
+}
+
+// normalize rewrites compiled bounds for the word kernels. NaN float bounds
+// collapse first: cmpF64 ranks NaN neither below nor above anything, so
+// every row compares "equal" — the bound passes everything when inclusive
+// and nothing when exclusive. Int columns then close exclusive int bounds
+// by stepping one (saturating at the extremes → fail) and turn unbounded
+// sides into the int extremes; float columns turn unbounded sides into
+// inclusive ±Inf, which passes every row — including NaN rows, which
+// compare "equal" to any bound and so pass inclusive ones.
+func (p *colRangeProbe) normalize(c *colVec) {
+	p.fail = false
+	for _, b := range [2]*colBound{&p.lo, &p.hi} {
+		if b.mode == cbF64 && math.IsNaN(b.f) {
+			if b.incl {
+				b.mode = cbNone
+			} else {
+				b.mode = cbFail
+			}
+		}
+	}
+	switch c.rep {
+	case repI64:
+		if p.lo.mode == cbNone {
+			p.lo = colBound{mode: cbI64, i: math.MinInt64, incl: true}
+		}
+		if p.hi.mode == cbNone {
+			p.hi = colBound{mode: cbI64, i: math.MaxInt64, incl: true}
+		}
+		if p.lo.mode == cbI64 && !p.lo.incl {
+			if p.lo.i == math.MaxInt64 {
+				p.fail = true
+			} else {
+				p.lo.i++
+				p.lo.incl = true
+			}
+		}
+		if p.hi.mode == cbI64 && !p.hi.incl {
+			if p.hi.i == math.MinInt64 {
+				p.fail = true
+			} else {
+				p.hi.i--
+				p.hi.incl = true
+			}
+		}
+	case repF64:
+		if p.lo.mode == cbNone {
+			p.lo = colBound{mode: cbF64, f: math.Inf(-1), incl: true}
+		}
+		if p.hi.mode == cbNone {
+			p.hi = colBound{mode: cbF64, f: math.Inf(1), incl: true}
+		}
+	}
+	if p.lo.mode == cbFail || p.hi.mode == cbFail {
+		p.fail = true
+	}
 }
 
 // colRestProbe is one unindexable client (evaluated per surviving row),
@@ -271,6 +330,7 @@ func (ix *colIndex) prepare(m *colMirror) {
 		c := &m.cols[p.col]
 		p.lo = compileBound(c, p.rng.Lo, p.rng.LoIncl, false)
 		p.hi = compileBound(c, p.rng.Hi, p.rng.HiIncl, true)
+		p.normalize(c)
 	}
 }
 
@@ -323,78 +383,6 @@ func cmpKindTag(a, b types.Kind) int {
 	default:
 		return 0
 	}
-}
-
-// Bound checks per representation. d-from-Compare semantics: a row fails a
-// lower bound when v.Compare(lo) < 0 (or == 0 when exclusive), and a higher
-// bound symmetrically.
-
-func (b *colBound) okLoI64(x int64) bool {
-	switch b.mode {
-	case cbFail:
-		return false
-	case cbI64:
-		return x > b.i || (x == b.i && b.incl)
-	case cbF64:
-		d := cmpF64(float64(x), b.f)
-		return d > 0 || (d == 0 && b.incl)
-	}
-	return true
-}
-
-func (b *colBound) okHiI64(x int64) bool {
-	switch b.mode {
-	case cbFail:
-		return false
-	case cbI64:
-		return x < b.i || (x == b.i && b.incl)
-	case cbF64:
-		d := cmpF64(float64(x), b.f)
-		return d < 0 || (d == 0 && b.incl)
-	}
-	return true
-}
-
-func (b *colBound) okLoF64(x float64) bool {
-	switch b.mode {
-	case cbFail:
-		return false
-	case cbF64:
-		d := cmpF64(x, b.f)
-		return d > 0 || (d == 0 && b.incl)
-	}
-	return true
-}
-
-func (b *colBound) okHiF64(x float64) bool {
-	switch b.mode {
-	case cbFail:
-		return false
-	case cbF64:
-		d := cmpF64(x, b.f)
-		return d < 0 || (d == 0 && b.incl)
-	}
-	return true
-}
-
-func (b *colBound) okLoStr(x string) bool {
-	switch b.mode {
-	case cbFail:
-		return false
-	case cbStr:
-		return x > b.s || (x == b.s && b.incl)
-	}
-	return true
-}
-
-func (b *colBound) okHiStr(x string) bool {
-	switch b.mode {
-	case cbFail:
-		return false
-	case cbStr:
-		return x < b.s || (x == b.s && b.incl)
-	}
-	return true
 }
 
 // colEqMatch verifies a hash-bucket candidate: the typed-coerced equality
@@ -455,6 +443,8 @@ type colPartScratch struct {
 	arena queryset.Arena
 	ids   []queryset.QueryID
 	bits  colBitmaps
+	act   []int32    // gather: clients with any match in the current word
+	hash  [64]uint64 // equality probing: per-lane hash images of one word
 }
 
 // ColScanBuffers is the reusable per-cycle state of a pooled columnar scan:
@@ -560,57 +550,53 @@ func (ix *colIndex) runChunk(m *colMirror, base, end int, ps *colPartScratch, si
 	ps.bits.ensure(nc, words)
 	per := ps.bits.per
 
-	// Equality probes: hash the column chunk, probe the per-value lists.
+	// Equality probes: hash the column chunk a word at a time (the
+	// representation switch runs once per word, not per row), then probe the
+	// per-value lists for the selected lanes.
 	for eci := range ix.eqCols {
 		ec := &ix.eqCols[eci]
 		c := &m.cols[ec.col]
 		for w := 0; w < words; w++ {
 			bw := liveW[w]
-			for bw != 0 {
-				tz := bits.TrailingZeros64(bw)
-				bw &= bw - 1
-				pos := base + w<<6 + tz
-				var h uint64
-				switch c.rep {
-				case repI64:
-					if c.valid[pos>>6]&(1<<(pos&63)) != 0 {
-						h = colHash64(uint64(c.i64[pos]))
-					} else {
-						h = colHashNull
-					}
-				case repF64:
-					if c.valid[pos>>6]&(1<<(pos&63)) != 0 {
-						h = colHashF64(c.f64[pos])
-					} else {
-						h = colHashNull
-					}
-				case repStr:
-					if c.valid[pos>>6]&(1<<(pos&63)) != 0 {
-						h = colHashStr(c.str[pos])
-					} else {
-						h = colHashNull
-					}
-				default:
-					h = m.rows[pos][ec.col].Hash()
-				}
-				for pi := ec.heads[h]; pi != 0; {
+			if bw == 0 {
+				continue
+			}
+			pos0 := base + w<<6
+			var vw uint64
+			if c.rep != repGeneric {
+				vw = c.valid[baseW+w]
+			}
+			eqHashWord(c, m.rows, ec.col, pos0, bw, vw, &ps.hash)
+			for t := bw; t != 0; {
+				tz := bits.TrailingZeros64(t)
+				t &= t - 1
+				pos := pos0 + tz
+				for pi := ec.heads[ps.hash[tz]]; pi != 0; {
 					p := &ix.eqProbes[pi-1]
 					pi = p.next
 					if colEqMatch(c, m.rows[pos], ec.col, pos, p.val) &&
 						(p.residual == nil || expr.TruthyEval(p.residual, m.rows[pos], nil)) {
-						per[p.ci][w] |= 1 << tz
+						per[p.ci][w] |= 1 << uint(tz)
 					}
 				}
 			}
 		}
 	}
 
-	// Range probes: typed vector compare, no boxing.
+	// Range probes: typed word kernels over the vector lanes. The kernels
+	// evaluate whole 64-lane words branch-free and the live∧valid mask is
+	// applied afterwards; string columns stay per-selected-lane (compares
+	// are too expensive to burn on dead lanes), generic columns fall back
+	// to the boxed per-row check.
 	for ri := range ix.rngs {
 		p := &ix.rngs[ri]
+		if p.fail {
+			continue
+		}
 		c := &m.cols[p.col]
 		out := per[p.ci]
-		if c.rep == repGeneric {
+		switch c.rep {
+		case repGeneric:
 			for w := 0; w < words; w++ {
 				bw := liveW[w]
 				for bw != 0 {
@@ -624,39 +610,97 @@ func (ix *colIndex) runChunk(m *colMirror, base, end int, ps *colPartScratch, si
 					}
 				}
 			}
-			continue
-		}
-		if p.lo.mode == cbFail || p.hi.mode == cbFail {
-			continue
-		}
-		for w := 0; w < words; w++ {
-			// NULL rows never satisfy a range (Contains rejects NULL first).
-			bw := liveW[w] & c.valid[baseW+w]
-			for bw != 0 {
-				tz := bits.TrailingZeros64(bw)
-				bw &= bw - 1
-				pos := base + w<<6 + tz
-				ok := false
-				switch c.rep {
-				case repI64:
-					x := c.i64[pos]
-					ok = p.lo.okLoI64(x) && p.hi.okHiI64(x)
-				case repF64:
-					x := c.f64[pos]
-					ok = p.lo.okLoF64(x) && p.hi.okHiF64(x)
-				case repStr:
-					x := c.str[pos]
-					ok = p.lo.okLoStr(x) && p.hi.okHiStr(x)
+		case repI64:
+			vals := c.i64[base:end]
+			allInt := p.lo.mode == cbI64 && p.hi.mode == cbI64
+			// The int extremes are normalization sentinels for "unbounded";
+			// a genuine bound at the extreme passes every lane anyway, so
+			// the one-sided kernels are exact either way.
+			loUnb := p.lo.mode == cbI64 && p.lo.i == math.MinInt64
+			hiUnb := p.hi.mode == cbI64 && p.hi.i == math.MaxInt64
+			for w := 0; w < words; w++ {
+				// NULL rows never satisfy a range (Contains rejects NULL first).
+				bw := liveW[w] & c.valid[baseW+w]
+				if bw == 0 {
+					continue
 				}
-				if ok && (p.residual == nil || expr.TruthyEval(p.residual, m.rows[pos], nil)) {
-					out[w] |= 1 << tz
+				rb := w << 6
+				lanes := vals[rb:min(rb+64, nb)]
+				var mask uint64
+				switch {
+				case loUnb && hiUnb:
+					mask = ^uint64(0)
+				case allInt && hiUnb:
+					mask = rangeWordI64Lo(lanes, p.lo.i)
+				case allInt && loUnb:
+					mask = rangeWordI64Hi(lanes, p.hi.i)
+				case allInt:
+					mask = rangeWordI64(lanes, p.lo.i, p.hi.i)
+				default:
+					mask = rangeWordI64Mixed(lanes, p.lo, p.hi)
+				}
+				mask &= bw
+				if mask != 0 && p.residual != nil {
+					mask = residualWord(mask, p.residual, m.rows, base+rb)
+				}
+				out[w] |= mask
+			}
+		case repF64:
+			vals := c.f64[base:end]
+			loIncl, hiIncl := b2u(p.lo.incl), b2u(p.hi.incl)
+			// Inclusive ±Inf is the "unbounded" sentinel: it passes every
+			// lane, NaN included (NaN compares "equal" to any bound).
+			loUnb := math.IsInf(p.lo.f, -1) && p.lo.incl
+			hiUnb := math.IsInf(p.hi.f, 1) && p.hi.incl
+			for w := 0; w < words; w++ {
+				bw := liveW[w] & c.valid[baseW+w]
+				if bw == 0 {
+					continue
+				}
+				rb := w << 6
+				lanes := vals[rb:min(rb+64, nb)]
+				var mask uint64
+				switch {
+				case loUnb && hiUnb:
+					mask = ^uint64(0)
+				case hiUnb:
+					mask = rangeWordF64Lo(lanes, p.lo.f, loIncl)
+				case loUnb:
+					mask = rangeWordF64Hi(lanes, p.hi.f, hiIncl)
+				default:
+					mask = rangeWordF64(lanes, p.lo.f, p.hi.f, loIncl, hiIncl)
+				}
+				mask &= bw
+				if mask != 0 && p.residual != nil {
+					mask = residualWord(mask, p.residual, m.rows, base+rb)
+				}
+				out[w] |= mask
+			}
+		case repStr:
+			strs := c.str
+			loS, hiS := p.lo.mode == cbStr, p.hi.mode == cbStr
+			for w := 0; w < words; w++ {
+				bw := liveW[w] & c.valid[baseW+w]
+				for bw != 0 {
+					tz := bits.TrailingZeros64(bw)
+					bw &= bw - 1
+					pos := base + w<<6 + tz
+					x := strs[pos]
+					ok := !loS || x > p.lo.s || (x == p.lo.s && p.lo.incl)
+					if ok && hiS {
+						ok = x < p.hi.s || (x == p.hi.s && p.hi.incl)
+					}
+					if ok && (p.residual == nil || expr.TruthyEval(p.residual, m.rows[pos], nil)) {
+						out[w] |= 1 << tz
+					}
 				}
 			}
 		}
 	}
 
 	// Rest probes: select-all copies the live words; single constant-LIKE
-	// predicates over a string vector match without Eval; everything else
+	// predicates over a string vector run the hoisted-shape word kernel on
+	// dense words (and a per-lane loop on sparse ones); everything else
 	// evaluates per row.
 	for ri := range ix.rest {
 		p := &ix.rest[ri]
@@ -667,30 +711,29 @@ func (ix *colIndex) runChunk(m *colMirror, base, end int, ps *colPartScratch, si
 		}
 		if p.likeOK {
 			if c := &m.cols[p.likeCol]; c.rep == repStr {
-				strs := c.str
+				strs := c.str[base:end]
 				for w := 0; w < words; w++ {
 					// A NULL lhs makes LIKE evaluate to NULL → false, negated
 					// or not, so invalid positions never match.
 					bw := liveW[w] & c.valid[baseW+w]
-					for bw != 0 {
-						tz := bits.TrailingZeros64(bw)
-						bw &= bw - 1
-						s := strs[base+w<<6+tz]
-						var okm bool
-						switch p.likeShape {
-						case expr.LikeExact:
-							okm = s == p.likeNeedle
-						case expr.LikePrefix:
-							okm = strings.HasPrefix(s, p.likeNeedle)
-						case expr.LikeSuffix:
-							okm = strings.HasSuffix(s, p.likeNeedle)
-						case expr.LikeContains:
-							okm = strings.Contains(s, p.likeNeedle)
-						default:
-							okm = expr.MatchLike(p.likeNeedle, s)
+					if bw == 0 {
+						continue
+					}
+					rb := w << 6
+					lanes := strs[rb:min(rb+64, nb)]
+					if bits.OnesCount64(bw)*2 >= len(lanes) {
+						mask := likeWord(lanes, p.likeShape, p.likeNeedle)
+						if p.likeNeg {
+							mask = ^mask
 						}
-						if okm != p.likeNeg {
-							out[w] |= 1 << tz
+						out[w] |= mask & bw
+						continue
+					}
+					for t := bw; t != 0; {
+						tz := bits.TrailingZeros64(t)
+						t &= t - 1
+						if likeLane(lanes[tz], p.likeShape, p.likeNeedle) != p.likeNeg {
+							out[w] |= 1 << uint(tz)
 						}
 					}
 				}
@@ -711,18 +754,25 @@ func (ix *colIndex) runChunk(m *colMirror, base, end int, ps *colPartScratch, si
 	}
 
 	// Gather: walk selected positions in order; per position, collect the
-	// interested clients in slot (= ascending qid) order.
+	// interested clients in slot (= ascending qid) order. The per-word
+	// active-client list keeps the per-position loop proportional to the
+	// clients that matched anything in the word, not all clients.
+	act := ps.act[:0]
 	for w := 0; w < words; w++ {
 		var anyw uint64
+		act = act[:0]
 		for ci := 0; ci < nc; ci++ {
-			anyw |= per[ci][w]
+			if pw := per[ci][w]; pw != 0 {
+				anyw |= pw
+				act = append(act, int32(ci))
+			}
 		}
 		for anyw != 0 {
 			tz := bits.TrailingZeros64(anyw)
 			anyw &= anyw - 1
 			mask := uint64(1) << tz
 			ids := ps.ids[:0]
-			for ci := 0; ci < nc; ci++ {
+			for _, ci := range act {
 				if per[ci][w]&mask != 0 {
 					ids = append(ids, ix.ids[ci])
 				}
@@ -730,5 +780,67 @@ func (ix *colIndex) runChunk(m *colMirror, base, end int, ps *colPartScratch, si
 			ps.ids = ids
 			sink(base+w<<6+tz, ids)
 		}
+	}
+	ps.act = act
+}
+
+// eqHashWord fills hs with the Value.Hash image of every selected lane of
+// one bitmap word, with the representation switch hoisted out of the row
+// loop. pos0 is the chunk-global position of lane 0; vw is the column's
+// validity word (unused for generic columns).
+func eqHashWord(c *colVec, rows []types.Row, col, pos0 int, bw, vw uint64, hs *[64]uint64) {
+	switch c.rep {
+	case repI64:
+		for t := bw; t != 0; {
+			tz := bits.TrailingZeros64(t)
+			t &= t - 1
+			if vw&(1<<uint(tz)) != 0 {
+				hs[tz] = colHash64(uint64(c.i64[pos0+tz]))
+			} else {
+				hs[tz] = colHashNull
+			}
+		}
+	case repF64:
+		for t := bw; t != 0; {
+			tz := bits.TrailingZeros64(t)
+			t &= t - 1
+			if vw&(1<<uint(tz)) != 0 {
+				hs[tz] = colHashF64(c.f64[pos0+tz])
+			} else {
+				hs[tz] = colHashNull
+			}
+		}
+	case repStr:
+		for t := bw; t != 0; {
+			tz := bits.TrailingZeros64(t)
+			t &= t - 1
+			if vw&(1<<uint(tz)) != 0 {
+				hs[tz] = colHashStr(c.str[pos0+tz])
+			} else {
+				hs[tz] = colHashNull
+			}
+		}
+	default:
+		for t := bw; t != 0; {
+			tz := bits.TrailingZeros64(t)
+			t &= t - 1
+			hs[tz] = rows[pos0+tz][col].Hash()
+		}
+	}
+}
+
+// likeLane is the single-lane fallback of likeWord for sparse words.
+func likeLane(s string, shape expr.LikeShape, needle string) bool {
+	switch shape {
+	case expr.LikeExact:
+		return s == needle
+	case expr.LikePrefix:
+		return strings.HasPrefix(s, needle)
+	case expr.LikeSuffix:
+		return strings.HasSuffix(s, needle)
+	case expr.LikeContains:
+		return strings.Contains(s, needle)
+	default:
+		return expr.MatchLike(needle, s)
 	}
 }
