@@ -1,0 +1,560 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"shareddb/internal/types"
+	"shareddb/internal/wire"
+)
+
+// conn is the single multiplexed connection behind a DB.
+//
+// Concurrency shape: callers serialize frame writes through wmu and park
+// on per-call queues; one reader goroutine demultiplexes every inbound
+// frame by request id. The window semaphore bounds how many Query/Exec
+// calls are in flight; prepare/stats/ping/subscribe ride outside the
+// window (they are not generation work).
+type conn struct {
+	cfg Config
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	// sem is the in-flight window: buffered sends acquire, the reader
+	// releases as terminal frames arrive.
+	sem chan struct{}
+
+	mu         sync.Mutex
+	nextID     uint64
+	calls      map[uint64]*call
+	subs       map[uint64]*Subscription
+	err        error // terminal connection error; nil while healthy
+	closed     bool  // orderly close requested
+	readerDone chan struct{}
+}
+
+// call is one pending request: the demultiplexer appends decoded response
+// frames to queue; the caller pops them. notify has capacity 1 — a
+// delivery always leaves either a queued frame or a pending notification,
+// so a waiting caller never misses a wake-up.
+type call struct {
+	id       uint64
+	windowed bool
+	sub      *Subscription // subscribe calls: registered by the reader on SUB_OK
+
+	mu      sync.Mutex
+	queue   []interface{}
+	notify  chan struct{}
+	done    bool
+	err     error
+	discard bool // abandoned: drop frames, keep consuming to the terminal
+}
+
+func (cl *call) deliver(msg interface{}, terminal bool) {
+	cl.mu.Lock()
+	if !cl.discard {
+		cl.queue = append(cl.queue, msg)
+	}
+	if terminal {
+		cl.done = true
+	}
+	cl.mu.Unlock()
+	select {
+	case cl.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (cl *call) fail(err error) {
+	cl.mu.Lock()
+	if cl.err == nil {
+		cl.err = err
+	}
+	cl.done = true
+	cl.mu.Unlock()
+	select {
+	case cl.notify <- struct{}{}:
+	default:
+	}
+}
+
+// next blocks for the call's next response frame.
+func (cl *call) next(ctx context.Context) (interface{}, error) {
+	for {
+		cl.mu.Lock()
+		if len(cl.queue) > 0 {
+			m := cl.queue[0]
+			cl.queue = cl.queue[1:]
+			cl.mu.Unlock()
+			return m, nil
+		}
+		err, done := cl.err, cl.done
+		cl.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, fmt.Errorf("%w: response stream ended unexpectedly", ErrClosed)
+		}
+		select {
+		case <-cl.notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// abandon detaches the caller: frames already queued are dropped and
+// future ones discarded, but the demultiplexer keeps consuming to the
+// terminal frame so the request id retires and its window slot frees.
+func (cl *call) abandon() {
+	cl.mu.Lock()
+	cl.discard = true
+	cl.queue = nil
+	cl.mu.Unlock()
+}
+
+// dial connects and performs the HELLO handshake synchronously, then
+// starts the demultiplexer.
+func dial(cfg Config) (*conn, error) {
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	nc, err := d.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return handshake(nc, cfg)
+}
+
+// handshake runs the HELLO exchange over an established transport and
+// returns the live conn. Split from dial so tests can drive net.Pipe ends.
+func handshake(nc net.Conn, cfg Config) (*conn, error) {
+	if cfg.DialTimeout > 0 {
+		nc.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	}
+	if _, err := nc.Write(wire.Hello{Version: wire.Version, Window: uint64(cfg.Window)}.Append(nil)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	typ, payload, _, err := wire.ReadFrame(nc, nil)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch typ {
+	case wire.THelloOK:
+		if _, err := wire.DecodeHelloOK(payload); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("client: handshake: %w", err)
+		}
+	case wire.TErr:
+		m, derr := wire.DecodeError(payload)
+		nc.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("client: handshake: %w", derr)
+		}
+		return nil, &ServerError{Code: m.Code, Msg: m.Msg}
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected frame %v", typ)
+	}
+	if cfg.DialTimeout > 0 {
+		nc.SetDeadline(time.Time{})
+	}
+	c := &conn{
+		cfg:        cfg,
+		nc:         nc,
+		sem:        make(chan struct{}, cfg.Window),
+		calls:      map[uint64]*call{},
+		subs:       map[uint64]*Subscription{},
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop is the demultiplexer: every inbound frame routes to its
+// pending call (by request id) or subscription (by subscription id). A
+// read or protocol error fails every pending call — which is how a
+// connection lost mid-cursor surfaces from Rows.Err.
+func (c *conn) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		typ, payload, b, err := wire.ReadFrame(c.nc, buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		buf = b
+		if err := c.route(typ, payload); err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+func (c *conn) route(typ wire.Type, payload []byte) error {
+	switch typ {
+	case wire.TPrepareOK:
+		m, err := wire.DecodePrepareOK(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TRowsHeader:
+		m, err := wire.DecodeRowsHeader(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, false)
+	case wire.TRowBatch:
+		m, err := wire.DecodeRowBatch(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, false)
+	case wire.TRowsDone:
+		m, err := wire.DecodeRowsDone(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TExecOK:
+		m, err := wire.DecodeExecOK(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TErr:
+		m, err := wire.DecodeError(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TBusy:
+		m, err := wire.DecodeBusy(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TStatsOK:
+		m, err := wire.DecodeStatsOK(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TPong:
+		m, err := wire.DecodeSimple(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(m.ID, m, true)
+	case wire.TSubOK:
+		m, err := wire.DecodeSubOK(payload)
+		if err != nil {
+			return err
+		}
+		// Register the subscription before delivering the ack: a push
+		// frame may follow SUB_OK on the very next read.
+		c.mu.Lock()
+		if cl := c.calls[m.ID]; cl != nil && cl.sub != nil {
+			cl.sub.id = m.Sub
+			c.subs[m.Sub] = cl.sub
+		}
+		c.mu.Unlock()
+		c.deliver(m.ID, m, true)
+	case wire.TSubPush:
+		m, err := wire.DecodeSubPush(payload)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if s := c.subs[m.Sub]; s != nil {
+			// Non-blocking under the lock: a full subscriber drops the
+			// update rather than stalling the demultiplexer.
+			select {
+			case s.ch <- SubscriptionUpdate{Gen: m.Gen, Full: m.Full,
+				Rows: m.Rows, Added: m.Added, Removed: m.Removed}:
+			default:
+			}
+		}
+		c.mu.Unlock()
+	case wire.TBye:
+		// Orderly server goodbye; the read loop ends at EOF next.
+	default:
+		return fmt.Errorf("client: unexpected frame %v", typ)
+	}
+	return nil
+}
+
+// deliver hands a response frame to its pending call. Terminal frames
+// retire the request id and release the call's window slot.
+func (c *conn) deliver(id uint64, msg interface{}, terminal bool) {
+	c.mu.Lock()
+	cl := c.calls[id]
+	if terminal {
+		delete(c.calls, id)
+	}
+	c.mu.Unlock()
+	if cl == nil {
+		return // response for an id we never issued; tolerated like an unknown stat
+	}
+	if terminal && cl.windowed {
+		<-c.sem
+	}
+	cl.deliver(msg, terminal)
+}
+
+// fail tears the connection down: every pending call and subscription
+// learns the cause, window slots release, later calls fail fast.
+func (c *conn) fail(cause error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if c.closed {
+			c.err = ErrClosed
+		} else {
+			c.err = fmt.Errorf("%w: %v", ErrClosed, cause)
+		}
+	}
+	err := c.err
+	calls := c.calls
+	subs := c.subs
+	c.calls = map[uint64]*call{}
+	c.subs = map[uint64]*Subscription{}
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, cl := range calls {
+		if cl.windowed {
+			<-c.sem
+		}
+		cl.fail(err)
+	}
+	for _, s := range subs {
+		s.shutdown()
+	}
+}
+
+func (c *conn) errNow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// acquire takes a window slot, honoring cancellation and connection death.
+func (c *conn) acquire(ctx context.Context) error {
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	case <-c.readerDone:
+		return c.errNow()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *conn) newCall(windowed bool, sub *Subscription) (*call, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.nextID++
+	cl := &call{id: c.nextID, windowed: windowed, sub: sub, notify: make(chan struct{}, 1)}
+	c.calls[cl.id] = cl
+	return cl, nil
+}
+
+func (c *conn) send(frame []byte) error {
+	c.wmu.Lock()
+	_, err := c.nc.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err) // the reader may not notice a half-dead socket; fail eagerly
+		return c.errNow()
+	}
+	return nil
+}
+
+// roundTrip issues one request and returns its first response frame with
+// BUSY/ERR already translated. Cancellation abandons the call — the
+// demultiplexer still drains it to the terminal frame.
+func (c *conn) roundTrip(ctx context.Context, windowed bool, sub *Subscription, encode func(id uint64) []byte) (interface{}, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if windowed {
+		if err := c.acquire(ctx); err != nil {
+			return nil, err
+		}
+	}
+	cl, err := c.newCall(windowed, sub)
+	if err != nil {
+		if windowed {
+			<-c.sem
+		}
+		return nil, err
+	}
+	if err := c.send(encode(cl.id)); err != nil {
+		return nil, err // fail() already retired the call and its slot
+	}
+	m, err := cl.next(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			cl.abandon()
+		}
+		return nil, err
+	}
+	switch m := m.(type) {
+	case wire.Error:
+		return nil, &ServerError{Code: m.Code, Msg: m.Msg}
+	case wire.Busy:
+		return nil, &OverloadError{Reason: m.Reason, RetryAfter: time.Duration(m.RetryAfterNs)}
+	}
+	return m, nil
+}
+
+func (c *conn) prepare(ctx context.Context, sqlText string) (wire.PrepareOK, error) {
+	m, err := c.roundTrip(ctx, false, nil, func(id uint64) []byte {
+		return wire.Prepare{ID: id, SQL: sqlText}.Append(nil)
+	})
+	if err != nil {
+		return wire.PrepareOK{}, err
+	}
+	ok, isOK := m.(wire.PrepareOK)
+	if !isOK {
+		return wire.PrepareOK{}, fmt.Errorf("client: unexpected PREPARE response %T", m)
+	}
+	return ok, nil
+}
+
+// exec issues a windowed request whose response is a single EXEC_OK.
+func (c *conn) exec(ctx context.Context, encode func(id uint64) []byte) (Result, error) {
+	m, err := c.roundTrip(ctx, true, nil, encode)
+	if err != nil {
+		return Result{}, err
+	}
+	ok, isOK := m.(wire.ExecOK)
+	if !isOK {
+		return Result{}, fmt.Errorf("client: unexpected EXEC response %T", m)
+	}
+	return Result{RowsAffected: int(ok.RowsAffected)}, nil
+}
+
+// startQuery issues a windowed read and returns its cursor once the
+// result header arrives. The window slot stays held until the cursor's
+// terminal frame — a streaming result is in-flight work.
+func (c *conn) startQuery(ctx context.Context, encode func(id uint64) []byte) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	cl, err := c.newCall(true, nil)
+	if err != nil {
+		<-c.sem
+		return nil, err
+	}
+	if err := c.send(encode(cl.id)); err != nil {
+		return nil, err
+	}
+	m, err := cl.next(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			cl.abandon()
+		}
+		return nil, err
+	}
+	switch m := m.(type) {
+	case wire.RowsHeader:
+		return &Rows{cl: cl, cols: m.Columns, pos: -1}, nil
+	case wire.Error:
+		return nil, &ServerError{Code: m.Code, Msg: m.Msg}
+	case wire.Busy:
+		return nil, &OverloadError{Reason: m.Reason, RetryAfter: time.Duration(m.RetryAfterNs)}
+	}
+	cl.abandon()
+	return nil, fmt.Errorf("client: unexpected QUERY response %T", m)
+}
+
+func (c *conn) stats(ctx context.Context) (Stats, error) {
+	m, err := c.roundTrip(ctx, false, nil, func(id uint64) []byte {
+		return wire.Simple{ID: id}.Append(nil, wire.TStats)
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	ok, isOK := m.(wire.StatsOK)
+	if !isOK {
+		return Stats{}, fmt.Errorf("client: unexpected STATS response %T", m)
+	}
+	return statsFromFields(ok.Fields), nil
+}
+
+func (c *conn) ping(ctx context.Context) error {
+	m, err := c.roundTrip(ctx, false, nil, func(id uint64) []byte {
+		return wire.Simple{ID: id}.Append(nil, wire.TPing)
+	})
+	if err != nil {
+		return err
+	}
+	if _, isOK := m.(wire.Simple); !isOK {
+		return fmt.Errorf("client: unexpected PING response %T", m)
+	}
+	return nil
+}
+
+// subscribe registers a standing query. The Subscription is created
+// first and handed to the call so the demultiplexer can register it the
+// moment SUB_OK arrives — a push frame may follow on the very next read,
+// before this goroutine even observes the ack.
+func (c *conn) subscribe(ctx context.Context, sqlText string, params []types.Value, bufCap int) (*Subscription, error) {
+	sub := &Subscription{c: c, ch: make(chan SubscriptionUpdate, bufCap), done: make(chan struct{})}
+	m, err := c.roundTrip(ctx, false, sub, func(id uint64) []byte {
+		return wire.SQLCall{ID: id, SQL: sqlText, Params: params}.Append(nil, wire.TSubscribe)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, isOK := m.(wire.SubOK); !isOK {
+		return nil, fmt.Errorf("client: unexpected SUBSCRIBE response %T", m)
+	}
+	return sub, nil
+}
+
+func (c *conn) closeStmt(handle uint64) error {
+	// CLOSE_STMT has no reply: handles are session-local names and the
+	// server forgets them silently.
+	return c.send(wire.Ref{Ref: handle}.Append(nil, wire.TCloseStmt))
+}
+
+// close is the orderly shutdown: best-effort QUIT, then tear down.
+func (c *conn) close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.readerDone
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.wmu.Lock()
+	c.nc.Write(wire.AppendEmpty(nil, wire.TQuit))
+	c.wmu.Unlock()
+	c.nc.Close()
+	<-c.readerDone
+	return nil
+}

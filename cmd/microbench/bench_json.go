@@ -45,6 +45,7 @@ type benchRecord struct {
 	// admission controller rejected with ErrOverloaded.
 	P50Ns    float64 `json:"p50_ns,omitempty"`
 	P99Ns    float64 `json:"p99_ns,omitempty"`
+	P999Ns   float64 `json:"p999_ns,omitempty"`
 	ShedRate float64 `json:"shed_rate,omitempty"`
 
 	// Folding-scenario extras (absent elsewhere): the engine-work rate —
@@ -142,7 +143,7 @@ func benchStatement(e *core.Engine, s *plan.Statement, mkParams func(i int) []ty
 // shape the per-statement benches (see benchStatement); the scenario
 // benches (mix, incremental, subscribe, overload, fold) measure wall-clock
 // protocols and run once regardless.
-func runJSONBench(opts experiments.Options, warmup, count int) error {
+func runJSONBench(opts experiments.Options, warmup, count, loadClients, loadPipeline int) error {
 	var report benchReport
 	report.Schema = "shareddb-microbench/v1"
 	report.Go = runtime.Version()
@@ -310,6 +311,18 @@ func runJSONBench(opts experiments.Options, warmup, count int) error {
 	// records from the ns gate (wall-clock scenarios, not micro-ops).
 	for _, fold := range []bool{false, true} {
 		rec, err := benchFolding(opts, fold)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, rec)
+	}
+
+	// Network fan-in scenario: the fold workload arriving over real
+	// loopback sockets, binary protocol (pipelined) then legacy text. The
+	// trajectory quantities are RPS, tail percentiles and shed rate —
+	// benchdiff excludes both records from the ns gate.
+	for _, text := range []bool{false, true} {
+		rec, err := benchLoad1k(opts, loadClients, loadPipeline, text)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,8 @@
 //	microbench -fig 11     load interaction between light and heavy queries
 //	microbench -json       machine-readable scan/join/sort/TPC-W-mix baseline
 //	                       (the BENCH_*.json perf-trajectory artifact)
+//	microbench -load       network fan-in scenario: closed-loop clients over
+//	                       loopback sockets (binary protocol vs legacy text)
 //
 // See EXPERIMENTS.md for recorded outputs.
 package main
@@ -37,6 +39,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable scan/join/sort/TPC-W-mix benchmark baseline on stdout")
 	warmup := flag.Int("warmup", 1, "untimed warm-up batches per -json statement bench (free lists, columnar mirror, batch pool)")
 	count := flag.Int("count", 1, "timed runs per -json statement bench; the median ns/op is reported")
+	load := flag.Bool("load", false, "run the network fan-in scenario (Load1k) and print its table instead of a figure")
+	loadClients := flag.Int("load-clients", 1000, "concurrent network connections for the Load1k scenario (-load and -json)")
+	loadPipeline := flag.Int("load-pipeline", 2, "pipelined in-flight queries per Load1k connection (binary protocol)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -49,8 +54,12 @@ func main() {
 		ShardWorkers:  *shardWorkers,
 	}
 
+	if *load {
+		exitOn(runLoadScenario(opts, *loadClients, *loadPipeline))
+		return
+	}
 	if *jsonOut {
-		exitOn(runJSONBench(opts, *warmup, *count))
+		exitOn(runJSONBench(opts, *warmup, *count, *loadClients, *loadPipeline))
 		return
 	}
 

@@ -1,55 +1,34 @@
-// Command shareddb-server exposes a SharedDB instance over TCP with a
-// simple line protocol (one SQL statement per line, results as
-// tab-separated rows terminated by "OK <n rows>" or "ERR <message>").
-// With admission control enabled (-max-delay / -queue-limit / -stmt-quota)
-// an overloaded server answers "BUSY <retry-after-ms> <reason>" instead of
-// queueing the statement — clients should back off for the hinted
-// milliseconds and resubmit.
+// Command shareddb-server exposes a SharedDB instance over TCP.
 //
-//	shareddb-server -listen :5843 [-wal dir]
+//	shareddb-server -listen :5843 [-wal dir] [-fold] [-text]
 //
-// Every connected client's statements join the same always-on global plan,
-// so concurrent clients share work exactly as the paper describes. The
-// port default matches the paper's Figure 5 example ("Output Network, TCP
-// Port 5843").
+// By default it speaks the binary wire protocol (internal/wire): length-
+// prefixed frames, prepared-statement handles with typed parameter
+// binding, streaming result cursors, and pipelined submission with
+// out-of-order completion — one connection keeps a window of queries in
+// flight, so duplicates land in the same generation and fold (README
+// "Network protocol" documents the frame layout and guarantees; the
+// `client` package is the Go client). Admission rejections travel as
+// typed BUSY frames carrying the engine's RetryAfter hint.
 //
-// Besides SQL, the protocol answers these verbs: EXPLAIN PLAN (the global
-// plan), STATS (engine counters as name<TAB>value rows, including the
-// -fold fan-out counters), SUB/UNSUB (standing queries) and QUIT.
+// Every connected client's statements join the same always-on global
+// plan, so concurrent clients share work exactly as the paper describes.
+// The port default matches the paper's Figure 5 example ("Output Network,
+// TCP Port 5843").
 //
-// SUB <select> registers the statement as a standing query and answers
-// "OK SUB <id>". From then on the server pushes asynchronous frames on the
-// connection whenever a generation changes the result:
-//
-//	!SUB <id> <gen> FULL <n>     followed by n tab-separated rows
-//	!SUB <id> <gen> DELTA <a> <r>  followed by a "+"-prefixed added rows
-//	                               and r "-"-prefixed removed rows
-//
-// Frames start with "!" so clients can separate them from statement
-// responses; a frame is never interleaved inside another response. UNSUB
-// <id> detaches the standing query. All subscriptions close with the
-// connection.
-//
-// Try it:
-//
-//	echo "CREATE TABLE t (a INT, PRIMARY KEY (a))" | nc localhost 5843
-//	echo "STATS" | nc localhost 5843
+// -text serves the legacy line protocol instead (one SQL statement per
+// line, tab-separated rows, SUB/UNSUB push frames). It is kept for one
+// release for existing clients; see the README migration notes.
 package main
 
 import (
-	"bufio"
-	"context"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
-	"strconv"
 	"strings"
-	"sync"
 
 	"shareddb"
-	"shareddb/internal/types"
+	"shareddb/internal/server"
 )
 
 func main() {
@@ -67,6 +46,8 @@ func main() {
 	stmtQuota := flag.Int("stmt-quota", 0, "max activations of one statement per generation; excess shed to later generations (0 = unlimited)")
 	fold := flag.Bool("fold", false, "collapse identical concurrent reads into one activation with a shared fan-out")
 	foldSubsume := flag.Bool("fold-subsume", false, "also serve equality restrictions from covering full scans (implies -fold semantics; requires -fold)")
+	window := flag.Int("window", 0, "per-connection in-flight request window for the binary protocol (0 = default)")
+	text := flag.Bool("text", false, "serve the legacy line protocol instead of the binary wire protocol (kept for one release)")
 	flag.Parse()
 
 	cfg := shareddb.Config{WALDir: *wal, MaxInFlightGenerations: *pipeline, Workers: *workers, Shards: *shards,
@@ -96,207 +77,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("shareddb-server listening on %s", ln.Addr())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
-		}
-		go serve(db, conn)
+	proto := "binary"
+	if *text {
+		proto = "text"
 	}
-}
-
-// connState is one client connection: its buffered writer (shared between
-// the serve loop and subscription pusher goroutines, so every complete
-// frame is written under mu) and its open standing queries.
-type connState struct {
-	mu     sync.Mutex
-	w      *bufio.Writer
-	subs   map[uint64]*shareddb.Subscription
-	nextID uint64
-}
-
-func serve(db *shareddb.DB, conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	cs := &connState{w: bufio.NewWriter(conn), subs: map[uint64]*shareddb.Subscription{}}
-	defer func() {
-		cs.mu.Lock()
-		for _, sub := range cs.subs {
-			sub.Close()
-		}
-		cs.w.Flush()
-		cs.mu.Unlock()
-	}()
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		upper := strings.ToUpper(line)
-		cs.mu.Lock()
-		w := cs.w
-		switch {
-		case upper == "QUIT" || upper == "EXIT":
-			fmt.Fprintln(w, "BYE")
-			w.Flush()
-			cs.mu.Unlock()
-			return
-		case upper == "EXPLAIN PLAN":
-			fmt.Fprint(w, db.DescribePlan())
-			fmt.Fprintln(w, "OK")
-		case upper == "STATS":
-			writeStats(w, db.Stats())
-		case strings.HasPrefix(upper, "SUB "):
-			subscribe(db, cs, strings.TrimSpace(line[4:]))
-		case strings.HasPrefix(upper, "UNSUB "):
-			unsubscribe(cs, strings.TrimSpace(line[6:]))
-		default:
-			execute(db, w, line)
-		}
-		w.Flush()
-		cs.mu.Unlock()
+	log.Printf("shareddb-server listening on %s (%s protocol)", ln.Addr(), proto)
+	srv := server.New(db, server.Options{Window: *window, TextProtocol: *text})
+	defer srv.Close()
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
 	}
-}
-
-// subscribe answers the SUB verb. Caller holds cs.mu.
-func subscribe(db *shareddb.DB, cs *connState, sqlText string) {
-	stmt, err := db.Prepare(sqlText)
-	if err != nil {
-		fail(cs.w, err)
-		return
-	}
-	sub, err := db.Subscribe(context.Background(), stmt)
-	if err != nil {
-		fail(cs.w, err)
-		return
-	}
-	cs.nextID++
-	id := cs.nextID
-	cs.subs[id] = sub
-	fmt.Fprintf(cs.w, "OK SUB %d\n", id)
-	go pushUpdates(cs, id, sub)
-}
-
-// unsubscribe answers the UNSUB verb. Caller holds cs.mu.
-func unsubscribe(cs *connState, arg string) {
-	id, err := strconv.ParseUint(arg, 10, 64)
-	if err != nil {
-		fmt.Fprintf(cs.w, "ERR bad subscription id %q\n", arg)
-		return
-	}
-	sub, ok := cs.subs[id]
-	if !ok {
-		fmt.Fprintf(cs.w, "ERR no subscription %d\n", id)
-		return
-	}
-	sub.Close()
-	delete(cs.subs, id)
-	fmt.Fprintf(cs.w, "OK UNSUB %d\n", id)
-}
-
-// pushUpdates streams one subscription's updates as asynchronous "!SUB"
-// frames; it exits when the subscription closes (UNSUB, connection end or
-// database shutdown).
-func pushUpdates(cs *connState, id uint64, sub *shareddb.Subscription) {
-	for u := range sub.Updates() {
-		cs.mu.Lock()
-		if u.Full {
-			fmt.Fprintf(cs.w, "!SUB %d %d FULL %d\n", id, u.Gen, len(u.Rows))
-			for _, row := range u.Rows {
-				fmt.Fprintln(cs.w, rowCells(row))
-			}
-		} else {
-			fmt.Fprintf(cs.w, "!SUB %d %d DELTA %d %d\n", id, u.Gen, len(u.Added), len(u.Removed))
-			for _, row := range u.Added {
-				fmt.Fprintf(cs.w, "+%s\n", rowCells(row))
-			}
-			for _, row := range u.Removed {
-				fmt.Fprintf(cs.w, "-%s\n", rowCells(row))
-			}
-		}
-		cs.w.Flush()
-		cs.mu.Unlock()
-	}
-}
-
-func rowCells(row types.Row) string {
-	cells := make([]string, len(row))
-	for i, v := range row {
-		cells[i] = v.String()
-	}
-	return strings.Join(cells, "\t")
-}
-
-// writeStats answers the STATS verb: one "name<TAB>value" line per counter,
-// terminated like a result set so existing clients can parse it.
-func writeStats(w *bufio.Writer, st shareddb.Stats) {
-	rows := []struct {
-		name  string
-		value interface{}
-	}{
-		{"generations", st.Generations},
-		{"queries_run", st.QueriesRun},
-		{"writes_applied", st.WritesApplied},
-		{"folded_queries", st.FoldedQueries},
-		{"subsumed_queries", st.SubsumedQueries},
-		{"fold_hit_rate", fmt.Sprintf("%.4f", st.FoldHitRate())},
-		{"in_flight_generations", st.InFlightGenerations},
-		{"queue_depth", st.QueueDepth},
-		{"shed", st.Shed},
-		{"rejected", st.Rejected},
-		{"breaker_trips", st.BreakerTrips},
-		{"subscriptions_active", st.SubscriptionsActive},
-		{"subscription_updates", st.SubscriptionUpdates},
-	}
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%v\n", r.name, r.value)
-	}
-	fmt.Fprintf(w, "OK %d rows\n", len(rows))
-}
-
-// fail writes the error response: "BUSY <retry-ms> <reason>" for admission
-// rejections (backpressure — the client should wait and resubmit), "ERR
-// <message>" for everything else.
-func fail(w *bufio.Writer, err error) {
-	var oe *shareddb.OverloadError
-	if errors.As(err, &oe) {
-		retry := oe.RetryAfter.Milliseconds()
-		if retry < 1 {
-			retry = 1
-		}
-		fmt.Fprintf(w, "BUSY %d %s\n", retry, oe.Reason)
-		return
-	}
-	fmt.Fprintf(w, "ERR %v\n", err)
-}
-
-func execute(db *shareddb.DB, w *bufio.Writer, sqlText string) {
-	upper := strings.ToUpper(sqlText)
-	if strings.HasPrefix(upper, "SELECT") {
-		rows, err := db.Query(sqlText)
-		if err != nil {
-			fail(w, err)
-			return
-		}
-		fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
-		for rows.Next() {
-			row := rows.Row()
-			cells := make([]string, len(row))
-			for i, v := range row {
-				cells[i] = v.String()
-			}
-			fmt.Fprintln(w, strings.Join(cells, "\t"))
-		}
-		fmt.Fprintf(w, "OK %d rows\n", rows.Len())
-		return
-	}
-	res, err := db.Exec(sqlText)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	fmt.Fprintf(w, "OK %d rows\n", res.RowsAffected)
 }

@@ -1,0 +1,211 @@
+// The legacy line protocol (one SQL statement per line, tab-separated
+// rows, "OK <n rows>" / "ERR <message>" / "BUSY <retry-ms> <reason>"
+// terminators, SUB/UNSUB push frames prefixed "!"), kept behind
+// Options.TextProtocol for one release so existing clients can migrate to
+// the binary protocol on their own schedule. See the README's migration
+// notes; this path re-parses every statement and cannot pipeline, so none
+// of the fan-in properties of conn.go apply here.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"shareddb"
+	"shareddb/internal/types"
+)
+
+// textConn is one line-protocol client: its buffered writer (shared
+// between the serve loop and subscription pusher goroutines, so every
+// complete frame is written under mu) and its open standing queries.
+type textConn struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	subs   map[uint64]*shareddb.Subscription
+	nextID uint64
+}
+
+func serveText(db *shareddb.DB, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	cs := &textConn{w: bufio.NewWriter(conn), subs: map[uint64]*shareddb.Subscription{}}
+	defer func() {
+		cs.mu.Lock()
+		for _, sub := range cs.subs {
+			sub.Close()
+		}
+		cs.w.Flush()
+		cs.mu.Unlock()
+	}()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		cs.mu.Lock()
+		w := cs.w
+		switch {
+		case upper == "QUIT" || upper == "EXIT":
+			fmt.Fprintln(w, "BYE")
+			w.Flush()
+			cs.mu.Unlock()
+			return
+		case upper == "EXPLAIN PLAN":
+			fmt.Fprint(w, db.DescribePlan())
+			fmt.Fprintln(w, "OK")
+		case upper == "STATS":
+			writeTextStats(w, db.Stats())
+		case strings.HasPrefix(upper, "SUB "):
+			textSubscribe(db, cs, strings.TrimSpace(line[4:]))
+		case strings.HasPrefix(upper, "UNSUB "):
+			textUnsubscribe(cs, strings.TrimSpace(line[6:]))
+		default:
+			textExecute(db, w, line)
+		}
+		w.Flush()
+		cs.mu.Unlock()
+	}
+}
+
+// textSubscribe answers the SUB verb. Caller holds cs.mu.
+func textSubscribe(db *shareddb.DB, cs *textConn, sqlText string) {
+	stmt, err := db.Prepare(sqlText)
+	if err != nil {
+		textFail(cs.w, err)
+		return
+	}
+	sub, err := db.Subscribe(context.Background(), stmt)
+	if err != nil {
+		textFail(cs.w, err)
+		return
+	}
+	cs.nextID++
+	id := cs.nextID
+	cs.subs[id] = sub
+	fmt.Fprintf(cs.w, "OK SUB %d\n", id)
+	go pushTextUpdates(cs, id, sub)
+}
+
+// textUnsubscribe answers the UNSUB verb. Caller holds cs.mu.
+func textUnsubscribe(cs *textConn, arg string) {
+	id, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		fmt.Fprintf(cs.w, "ERR bad subscription id %q\n", arg)
+		return
+	}
+	sub, ok := cs.subs[id]
+	if !ok {
+		fmt.Fprintf(cs.w, "ERR no subscription %d\n", id)
+		return
+	}
+	sub.Close()
+	delete(cs.subs, id)
+	fmt.Fprintf(cs.w, "OK UNSUB %d\n", id)
+}
+
+// pushTextUpdates streams one subscription's updates as asynchronous
+// "!SUB" frames; it exits when the subscription closes (UNSUB, connection
+// end or database shutdown).
+func pushTextUpdates(cs *textConn, id uint64, sub *shareddb.Subscription) {
+	for u := range sub.Updates() {
+		cs.mu.Lock()
+		if u.Full {
+			fmt.Fprintf(cs.w, "!SUB %d %d FULL %d\n", id, u.Gen, len(u.Rows))
+			for _, row := range u.Rows {
+				fmt.Fprintln(cs.w, rowCells(row))
+			}
+		} else {
+			fmt.Fprintf(cs.w, "!SUB %d %d DELTA %d %d\n", id, u.Gen, len(u.Added), len(u.Removed))
+			for _, row := range u.Added {
+				fmt.Fprintf(cs.w, "+%s\n", rowCells(row))
+			}
+			for _, row := range u.Removed {
+				fmt.Fprintf(cs.w, "-%s\n", rowCells(row))
+			}
+		}
+		cs.w.Flush()
+		cs.mu.Unlock()
+	}
+}
+
+func rowCells(row types.Row) string {
+	cells := make([]string, len(row))
+	for i, v := range row {
+		cells[i] = v.String()
+	}
+	return strings.Join(cells, "\t")
+}
+
+// writeTextStats answers the STATS verb: one "name<TAB>value" line per
+// counter, terminated like a result set so existing clients can parse it.
+func writeTextStats(w *bufio.Writer, st shareddb.Stats) {
+	rows := []struct {
+		name  string
+		value interface{}
+	}{
+		{"generations", st.Generations},
+		{"queries_run", st.QueriesRun},
+		{"writes_applied", st.WritesApplied},
+		{"folded_queries", st.FoldedQueries},
+		{"subsumed_queries", st.SubsumedQueries},
+		{"fold_hit_rate", fmt.Sprintf("%.4f", st.FoldHitRate())},
+		{"in_flight_generations", st.InFlightGenerations},
+		{"queue_depth", st.QueueDepth},
+		{"shed", st.Shed},
+		{"rejected", st.Rejected},
+		{"breaker_trips", st.BreakerTrips},
+		{"subscriptions_active", st.SubscriptionsActive},
+		{"subscription_updates", st.SubscriptionUpdates},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\n", r.name, r.value)
+	}
+	fmt.Fprintf(w, "OK %d rows\n", len(rows))
+}
+
+// textFail writes the error response: "BUSY <retry-ms> <reason>" for
+// admission rejections (backpressure — the client should wait and
+// resubmit), "ERR <message>" for everything else.
+func textFail(w *bufio.Writer, err error) {
+	var oe *shareddb.OverloadError
+	if errors.As(err, &oe) {
+		retry := oe.RetryAfter.Milliseconds()
+		if retry < 1 {
+			retry = 1
+		}
+		fmt.Fprintf(w, "BUSY %d %s\n", retry, oe.Reason)
+		return
+	}
+	fmt.Fprintf(w, "ERR %v\n", err)
+}
+
+func textExecute(db *shareddb.DB, w *bufio.Writer, sqlText string) {
+	upper := strings.ToUpper(sqlText)
+	if strings.HasPrefix(upper, "SELECT") {
+		rows, err := db.Query(sqlText)
+		if err != nil {
+			textFail(w, err)
+			return
+		}
+		fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
+		for rows.Next() {
+			fmt.Fprintln(w, rowCells(rows.Row()))
+		}
+		fmt.Fprintf(w, "OK %d rows\n", rows.Len())
+		return
+	}
+	res, err := db.Exec(sqlText)
+	if err != nil {
+		textFail(w, err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d rows\n", res.RowsAffected)
+}

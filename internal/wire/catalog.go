@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Catalog renders the protocol's machine-checkable surface: version, frame
+// limit, every frame type with its numeric value and payload layout, and
+// the error codes. cmd/apisnapshot -wire pins this text as api/wire.txt, so
+// any change to the protocol — a new frame, a renumbered type, a payload
+// reshape — fails CI until the golden is regenerated and the diff reviewed,
+// exactly like the public-API goldens.
+func Catalog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wire protocol version %d\n", Version)
+	fmt.Fprintf(&b, "max frame %d bytes\n", MaxFrame)
+	b.WriteString("frame = uint32le payload_len, type byte, payload\n")
+	b.WriteString("\nclient frames\n")
+	for _, f := range []struct {
+		t      Type
+		layout string
+	}{
+		{THello, "version uvarint, window uvarint"},
+		{TPrepare, "id uvarint, sql string"},
+		{TQuery, "id uvarint, stmt uvarint, params values"},
+		{TExec, "id uvarint, stmt uvarint, params values"},
+		{TQuerySQL, "id uvarint, sql string, params values"},
+		{TExecSQL, "id uvarint, sql string, params values"},
+		{TCloseStmt, "id uvarint, stmt uvarint"},
+		{TSubscribe, "id uvarint, sql string, params values"},
+		{TUnsubscribe, "id uvarint, sub uvarint"},
+		{TStats, "id uvarint"},
+		{TPing, "id uvarint"},
+		{TQuit, "-"},
+	} {
+		fmt.Fprintf(&b, "  0x%02X %-12s %s\n", byte(f.t), f.t, f.layout)
+	}
+	b.WriteString("\nserver frames\n")
+	for _, f := range []struct {
+		t      Type
+		layout string
+	}{
+		{THelloOK, "version uvarint, window uvarint"},
+		{TPrepareOK, "id uvarint, stmt uvarint, nparams uvarint, iswrite bool, columns strings"},
+		{TRowsHeader, "id uvarint, columns strings"},
+		{TRowBatch, "id uvarint, rows rows"},
+		{TRowsDone, "id uvarint, total uvarint"},
+		{TExecOK, "id uvarint, rows_affected uvarint"},
+		{TErr, "id uvarint, code uvarint, msg string"},
+		{TBusy, "id uvarint, retry_after_ns uvarint, reason string"},
+		{TStatsOK, "id uvarint, nfields uvarint, (name string, value uvarint)*"},
+		{TPong, "id uvarint"},
+		{TSubOK, "id uvarint, sub uvarint"},
+		{TSubPush, "sub uvarint, gen uvarint, full bool, full ? rows : (added rows, removed rows)"},
+		{TBye, "-"},
+	} {
+		fmt.Fprintf(&b, "  0x%02X %-12s %s\n", byte(f.t), f.t, f.layout)
+	}
+	b.WriteString("\nerror codes\n")
+	for _, c := range []struct {
+		code uint64
+		name string
+	}{
+		{CodeInternal, "INTERNAL"},
+		{CodeBadRequest, "BAD_REQUEST"},
+		{CodeUnknownStmt, "UNKNOWN_STMT"},
+		{CodeUnknownSub, "UNKNOWN_SUB"},
+		{CodeVersion, "VERSION"},
+	} {
+		fmt.Fprintf(&b, "  %d %s\n", c.code, c.name)
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"shareddb/internal/types"
+)
+
+// readOne reads a single frame out of an encoded buffer and fails on any
+// framing error.
+func readOne(t *testing.T, frame []byte) (Type, []byte) {
+	t.Helper()
+	typ, payload, _, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return typ, payload
+}
+
+func sampleValues() []types.Value {
+	return []types.Value{
+		types.Null,
+		types.NewInt(-42),
+		types.NewFloat(3.5),
+		types.NewString("Title 07%"),
+		types.NewBool(true),
+		types.NewTime(time.Unix(1700000000, 12345).UTC()),
+	}
+}
+
+func sampleRows() []types.Row {
+	return []types.Row{
+		{types.NewInt(1), types.NewString("a")},
+		{types.NewInt(2), types.NewString("b"), types.Null},
+		{},
+	}
+}
+
+// TestRoundTrip encodes each message, re-reads it through ReadFrame, and
+// decodes it back, checking the frame type and field-for-field equality.
+func TestRoundTrip(t *testing.T) {
+	check := func(name string, frame []byte, want Type, decode func(p []byte) (interface{}, error), wantMsg interface{}) {
+		t.Helper()
+		typ, payload := readOne(t, frame)
+		if typ != want {
+			t.Fatalf("%s: frame type = %v, want %v", name, typ, want)
+		}
+		got, err := decode(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, wantMsg) {
+			t.Fatalf("%s: round trip mismatch\n got %#v\nwant %#v", name, got, wantMsg)
+		}
+	}
+
+	hello := Hello{Version: Version, Window: 32}
+	check("hello", hello.Append(nil), THello,
+		func(p []byte) (interface{}, error) { return DecodeHello(p) }, hello)
+
+	helloOK := HelloOK{Version: Version, Window: 64}
+	check("hello_ok", helloOK.Append(nil), THelloOK,
+		func(p []byte) (interface{}, error) { return DecodeHelloOK(p) }, helloOK)
+
+	prep := Prepare{ID: 7, SQL: "SELECT i_id FROM item WHERE i_title LIKE ?"}
+	check("prepare", prep.Append(nil), TPrepare,
+		func(p []byte) (interface{}, error) { return DecodePrepare(p) }, prep)
+
+	prepOK := PrepareOK{ID: 7, Stmt: 3, NumParams: 1, IsWrite: false, Columns: []string{"i_id", "i_title"}}
+	check("prepare_ok", prepOK.Append(nil), TPrepareOK,
+		func(p []byte) (interface{}, error) { return DecodePrepareOK(p) }, prepOK)
+
+	call := StmtCall{ID: 9, Stmt: 3, Params: sampleValues()}
+	check("query", call.Append(nil, TQuery), TQuery,
+		func(p []byte) (interface{}, error) { return DecodeStmtCall(p) }, call)
+	check("exec", call.Append(nil, TExec), TExec,
+		func(p []byte) (interface{}, error) { return DecodeStmtCall(p) }, call)
+
+	sqlCall := SQLCall{ID: 11, SQL: "UPDATE item SET i_stock = ? WHERE i_id = ?", Params: sampleValues()[:2]}
+	check("exec_sql", sqlCall.Append(nil, TExecSQL), TExecSQL,
+		func(p []byte) (interface{}, error) { return DecodeSQLCall(p) }, sqlCall)
+	check("subscribe", sqlCall.Append(nil, TSubscribe), TSubscribe,
+		func(p []byte) (interface{}, error) { return DecodeSQLCall(p) }, sqlCall)
+
+	ref := Ref{ID: 13, Ref: 3}
+	check("close_stmt", ref.Append(nil, TCloseStmt), TCloseStmt,
+		func(p []byte) (interface{}, error) { return DecodeRef(p) }, ref)
+
+	simple := Simple{ID: 15}
+	check("stats", simple.Append(nil, TStats), TStats,
+		func(p []byte) (interface{}, error) { return DecodeSimple(p) }, simple)
+
+	hdr := RowsHeader{ID: 9, Columns: []string{"i_id", "i_title"}}
+	check("rows_header", hdr.Append(nil), TRowsHeader,
+		func(p []byte) (interface{}, error) { return DecodeRowsHeader(p) }, hdr)
+
+	batch := RowBatch{ID: 9, Rows: sampleRows()}
+	check("row_batch", batch.Append(nil), TRowBatch,
+		func(p []byte) (interface{}, error) { return DecodeRowBatch(p) }, batch)
+
+	done := RowsDone{ID: 9, Total: 3}
+	check("rows_done", done.Append(nil), TRowsDone,
+		func(p []byte) (interface{}, error) { return DecodeRowsDone(p) }, done)
+
+	execOK := ExecOK{ID: 11, RowsAffected: 2}
+	check("exec_ok", execOK.Append(nil), TExecOK,
+		func(p []byte) (interface{}, error) { return DecodeExecOK(p) }, execOK)
+
+	werr := Error{ID: 11, Code: CodeUnknownStmt, Msg: "stmt 99 not prepared"}
+	check("err", werr.Append(nil), TErr,
+		func(p []byte) (interface{}, error) { return DecodeError(p) }, werr)
+
+	busy := Busy{ID: 9, RetryAfterNs: uint64(5 * time.Millisecond), Reason: "queue full"}
+	check("busy", busy.Append(nil), TBusy,
+		func(p []byte) (interface{}, error) { return DecodeBusy(p) }, busy)
+
+	stats := StatsOK{ID: 15, Fields: []StatField{{"generations", 12}, {"folded_queries", 99}}}
+	check("stats_ok", stats.Append(nil), TStatsOK,
+		func(p []byte) (interface{}, error) { return DecodeStatsOK(p) }, stats)
+
+	subOK := SubOK{ID: 17, Sub: 4}
+	check("sub_ok", subOK.Append(nil), TSubOK,
+		func(p []byte) (interface{}, error) { return DecodeSubOK(p) }, subOK)
+
+	pushFull := SubPush{Sub: 4, Gen: 8, Full: true, Rows: sampleRows()}
+	check("sub_push_full", pushFull.Append(nil), TSubPush,
+		func(p []byte) (interface{}, error) { return DecodeSubPush(p) }, pushFull)
+
+	pushDelta := SubPush{Sub: 4, Gen: 9, Added: sampleRows()[:1], Removed: sampleRows()[1:2]}
+	check("sub_push_delta", pushDelta.Append(nil), TSubPush,
+		func(p []byte) (interface{}, error) { return DecodeSubPush(p) }, pushDelta)
+}
+
+// TestEmptyFrames checks the payload-free QUIT/BYE frames.
+func TestEmptyFrames(t *testing.T) {
+	for _, typ := range []Type{TQuit, TBye} {
+		typGot, payload := readOne(t, AppendEmpty(nil, typ))
+		if typGot != typ {
+			t.Fatalf("type = %v, want %v", typGot, typ)
+		}
+		if err := DecodeEmpty(payload); err != nil {
+			t.Fatalf("DecodeEmpty(%v): %v", typ, err)
+		}
+	}
+}
+
+// TestPipelinedStream writes several frames back to back into one buffer
+// and reads them out with a reused buffer — the exact read-loop pattern the
+// server and client use.
+func TestPipelinedStream(t *testing.T) {
+	var stream []byte
+	for i := uint64(0); i < 10; i++ {
+		stream = StmtCall{ID: i, Stmt: 1, Params: []types.Value{types.NewInt(int64(i))}}.Append(stream, TQuery)
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := uint64(0); i < 10; i++ {
+		typ, payload, bufOut, err := ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = bufOut
+		if typ != TQuery {
+			t.Fatalf("frame %d: type %v", i, typ)
+		}
+		m, err := DecodeStmtCall(payload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.ID != i {
+			t.Fatalf("frame %d: id %d out of order", i, m.ID)
+		}
+	}
+	if _, _, _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameLimits pins the framing failure modes: zero-length frames,
+// frames beyond MaxFrame (rejected before any allocation), and truncation
+// at every prefix length of a valid frame.
+func TestFrameLimits(t *testing.T) {
+	var zero [4]byte
+	if _, _, _, err := ReadFrame(bytes.NewReader(zero[:]), nil); err != ErrFrameEmpty {
+		t.Fatalf("zero-length frame: err = %v, want ErrFrameEmpty", err)
+	}
+
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, _, _, err := ReadFrame(bytes.NewReader(huge[:]), nil); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	frame := StmtCall{ID: 1, Stmt: 2, Params: sampleValues()}.Append(nil, TQuery)
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, _, err := ReadFrame(bytes.NewReader(frame[:cut]), nil)
+		if err == nil {
+			t.Fatalf("truncated frame at %d/%d bytes: no error", cut, len(frame))
+		}
+		if err == io.EOF && cut >= 4 {
+			t.Fatalf("truncated frame at %d/%d bytes: clean EOF inside a frame", cut, len(frame))
+		}
+	}
+}
+
+// TestDecodeRejectsTrailing pins that every decoder refuses payload bytes
+// after the message — corruption must not pass silently.
+func TestDecodeRejectsTrailing(t *testing.T) {
+	frame := Simple{ID: 1}.Append(nil, TPing)
+	_, payload := readOne(t, frame)
+	padded := append(append([]byte{}, payload...), 0xFF)
+	if _, err := DecodeSimple(padded); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestDecodeClampsCounts pins the alloc-bomb guard: a payload declaring a
+// huge element count with no bytes behind it must fail before allocating.
+func TestDecodeClampsCounts(t *testing.T) {
+	// RowBatch claiming 2^40 rows in a 12-byte payload.
+	payload := binary.AppendUvarint(nil, 1)        // request id
+	payload = binary.AppendUvarint(payload, 1<<40) // row count lie
+	if _, err := DecodeRowBatch(payload); err == nil {
+		t.Fatal("row-count lie accepted")
+	}
+	// StmtCall claiming 2^40 params.
+	payload = binary.AppendUvarint(nil, 1)
+	payload = binary.AppendUvarint(payload, 1)
+	payload = binary.AppendUvarint(payload, 1<<40)
+	if _, err := DecodeStmtCall(payload); err == nil {
+		t.Fatal("param-count lie accepted")
+	}
+	// Strings with a length lie.
+	payload = binary.AppendUvarint(nil, 1)
+	payload = binary.AppendUvarint(payload, 1)
+	payload = binary.AppendUvarint(payload, 1<<40) // string length lie
+	if _, err := DecodeRowsHeader(payload); err == nil {
+		t.Fatal("string-length lie accepted")
+	}
+}
+
+// TestCatalogCoversEveryType ensures the golden catalog names every frame
+// type (adding a frame without cataloguing it should fail here before the
+// golden gate even runs).
+func TestCatalogCoversEveryType(t *testing.T) {
+	cat := Catalog()
+	all := []Type{
+		THello, TPrepare, TQuery, TExec, TQuerySQL, TExecSQL, TCloseStmt,
+		TSubscribe, TUnsubscribe, TStats, TPing, TQuit,
+		THelloOK, TPrepareOK, TRowsHeader, TRowBatch, TRowsDone, TExecOK,
+		TErr, TBusy, TStatsOK, TPong, TSubOK, TSubPush, TBye,
+	}
+	for _, typ := range all {
+		if !strings.Contains(cat, typ.String()) {
+			t.Errorf("catalog is missing frame %v", typ)
+		}
+	}
+	if strings.Contains(cat, "UNKNOWN(") {
+		t.Error("catalog renders an unknown frame type")
+	}
+}
